@@ -1,0 +1,262 @@
+// Package wormsim's root benchmarks regenerate every figure of the paper's
+// evaluation (DESIGN.md experiment index) plus the ablations:
+//
+//	BenchmarkFig3Uniform  — Figure 3: uniform traffic, six algorithms
+//	BenchmarkFig4Hotspot  — Figure 4: 4% hotspot at node (15,15)
+//	BenchmarkFig5Local    — Figure 5: local traffic, 0.4 locality (7x7 box)
+//	BenchmarkVCT          — sec. 3.4: virtual cut-through, 2pn vs nbc vs ecube
+//	BenchmarkAblation*    — A-VC, A-SEL, A-CC of DESIGN.md
+//	BenchmarkTranspose    — X-TRANS: Glass & Ni's transpose claim
+//	BenchmarkEngine       — raw simulator speed (cycles/op at fixed load)
+//
+// Each benchmark iteration runs a full converged simulation at one offered
+// load, so the interesting outputs are the custom metrics, not ns/op:
+// "latency_cycles" is the converged average message latency and
+// "throughput" the achieved channel utilization. Benchmarks use shortened
+// warmup/sampling windows; run cmd/figures for publication-length sweeps.
+package wormsim
+
+import (
+	"fmt"
+	"testing"
+
+	"wormsim/internal/core"
+	"wormsim/internal/network"
+	"wormsim/internal/routing"
+	"wormsim/internal/topology"
+	"wormsim/internal/traffic"
+)
+
+// benchBase is the shared quick methodology for benchmarks.
+func benchBase() core.Config {
+	return core.Config{
+		Seed:         1,
+		WarmupCycles: 2000,
+		SampleCycles: 1000,
+		GapCycles:    300,
+		MaxSamples:   4,
+	}
+}
+
+// benchLoads is the reduced offered-load axis exercised per algorithm: one
+// point below saturation, one near the hop schemes' knee, one deep in
+// saturation.
+var benchLoads = []float64{0.3, 0.6, 0.9}
+
+// runPoint runs one simulation point inside a benchmark and reports its
+// metrics.
+func runPoint(b *testing.B, cfg core.Config) core.Result {
+	b.Helper()
+	res, err := core.Run(cfg)
+	if err != nil && !res.Deadlocked {
+		b.Fatalf("%s at rho=%.2f: %v", cfg.Algorithm, cfg.OfferedLoad, err)
+	}
+	return res
+}
+
+// benchFigure runs one sub-benchmark per (algorithm, load) of the spec.
+func benchFigure(b *testing.B, id string) {
+	spec, err := core.FigureByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range spec.Algorithms {
+		for _, load := range benchLoads {
+			b.Run(fmt.Sprintf("%s/rho=%.1f", alg, load), func(b *testing.B) {
+				var res core.Result
+				for i := 0; i < b.N; i++ {
+					cfg := benchBase()
+					cfg.Algorithm = alg
+					cfg.Pattern = spec.Pattern
+					cfg.Switching = spec.Switching
+					cfg.OfferedLoad = load
+					res = runPoint(b, cfg)
+				}
+				b.ReportMetric(res.AvgLatency, "latency_cycles")
+				b.ReportMetric(res.Throughput, "throughput")
+			})
+		}
+	}
+}
+
+// BenchmarkFig3Uniform regenerates Figure 3 (uniform traffic).
+func BenchmarkFig3Uniform(b *testing.B) { benchFigure(b, "fig3") }
+
+// BenchmarkFig4Hotspot regenerates Figure 4 (4% hotspot traffic).
+func BenchmarkFig4Hotspot(b *testing.B) { benchFigure(b, "fig4") }
+
+// BenchmarkFig5Local regenerates Figure 5 (local traffic, locality 0.4).
+func BenchmarkFig5Local(b *testing.B) { benchFigure(b, "fig5") }
+
+// BenchmarkVCT regenerates the sec. 3.4 virtual cut-through comparison.
+func BenchmarkVCT(b *testing.B) { benchFigure(b, "vct") }
+
+// BenchmarkAblationEcubeVCs is experiment A-VC: e-cube throughput as
+// virtual channels are added (1, 2 and 4 dateline lane pairs), uniform
+// traffic at a saturating load — Dally's virtual-channel result.
+func BenchmarkAblationEcubeVCs(b *testing.B) {
+	for _, alg := range []string{"ecube", "ecube2x", "ecube4x"} {
+		b.Run(alg, func(b *testing.B) {
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				cfg := benchBase()
+				cfg.Algorithm = alg
+				cfg.OfferedLoad = 0.6
+				res = runPoint(b, cfg)
+			}
+			b.ReportMetric(res.AvgLatency, "latency_cycles")
+			b.ReportMetric(res.Throughput, "throughput")
+		})
+	}
+}
+
+// BenchmarkAblationSelection is experiment A-SEL: the output virtual-channel
+// selection policy under nbc at a saturating load.
+func BenchmarkAblationSelection(b *testing.B) {
+	for _, policy := range []string{"random", "first", "leastcongested"} {
+		b.Run(policy, func(b *testing.B) {
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				cfg := benchBase()
+				cfg.Algorithm = "nbc"
+				cfg.Policy = policy
+				cfg.OfferedLoad = 0.8
+				res = runPoint(b, cfg)
+			}
+			b.ReportMetric(res.AvgLatency, "latency_cycles")
+			b.ReportMetric(res.Throughput, "throughput")
+		})
+	}
+}
+
+// BenchmarkAblationCongestion is experiment A-CC: the input-buffer-limit
+// sweep for e-cube and phop beyond saturation, showing that the limit is
+// what keeps post-saturation throughput from collapsing.
+func BenchmarkAblationCongestion(b *testing.B) {
+	for _, alg := range []string{"ecube", "phop"} {
+		for _, limit := range []int{-1, 1, 2, 4, 8} {
+			name := fmt.Sprintf("%s/limit=%d", alg, limit)
+			if limit < 0 {
+				name = fmt.Sprintf("%s/limit=off", alg)
+			}
+			b.Run(name, func(b *testing.B) {
+				var res core.Result
+				for i := 0; i < b.N; i++ {
+					cfg := benchBase()
+					cfg.Algorithm = alg
+					cfg.CCLimit = limit
+					cfg.OfferedLoad = 0.7
+					res = runPoint(b, cfg)
+				}
+				b.ReportMetric(res.AvgLatency, "latency_cycles")
+				b.ReportMetric(res.Throughput, "throughput")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationRouterDelay is experiment A-RTD: the paper's hardware
+// argument — "the complexity of the routing algorithm and, hence, the
+// hardware cost increase with the increase in adaptivity" — quantified:
+// give the adaptive nbc router a pipeline penalty per header hop and see
+// how many delay cycles its throughput advantage over a zero-delay e-cube
+// survives.
+func BenchmarkAblationRouterDelay(b *testing.B) {
+	for _, rd := range []int{0, 1, 2, 4} {
+		b.Run(fmt.Sprintf("nbc/delay=%d", rd), func(b *testing.B) {
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				cfg := benchBase()
+				cfg.Algorithm = "nbc"
+				cfg.RouteDelay = rd
+				cfg.OfferedLoad = 0.6
+				res = runPoint(b, cfg)
+			}
+			b.ReportMetric(res.AvgLatency, "latency_cycles")
+			b.ReportMetric(res.Throughput, "throughput")
+		})
+	}
+	b.Run("ecube/delay=0", func(b *testing.B) {
+		var res core.Result
+		for i := 0; i < b.N; i++ {
+			cfg := benchBase()
+			cfg.Algorithm = "ecube"
+			cfg.OfferedLoad = 0.6
+			res = runPoint(b, cfg)
+		}
+		b.ReportMetric(res.AvgLatency, "latency_cycles")
+		b.ReportMetric(res.Throughput, "throughput")
+	})
+}
+
+// BenchmarkTranspose is experiment X-TRANS: matrix-transpose traffic, the
+// nonuniform pattern for which Glass & Ni report turn-model algorithms
+// beating e-cube.
+func BenchmarkTranspose(b *testing.B) {
+	for _, alg := range []string{"nlast", "ecube", "nbc"} {
+		b.Run(alg, func(b *testing.B) {
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				cfg := benchBase()
+				cfg.Algorithm = alg
+				cfg.Pattern = "transpose"
+				cfg.OfferedLoad = 0.4
+				res = runPoint(b, cfg)
+			}
+			b.ReportMetric(res.AvgLatency, "latency_cycles")
+			b.ReportMetric(res.Throughput, "throughput")
+		})
+	}
+}
+
+// BenchmarkAblationMsgLen sweeps the message length (the paper fixes 16
+// flits and notes 16/20/24 are common in the literature): longer worms
+// amortize header overheads but hold channel chains longer when blocked.
+func BenchmarkAblationMsgLen(b *testing.B) {
+	for _, alg := range []string{"nbc", "ecube"} {
+		for _, ml := range []int{4, 8, 16, 24, 32} {
+			b.Run(fmt.Sprintf("%s/flits=%d", alg, ml), func(b *testing.B) {
+				var res core.Result
+				for i := 0; i < b.N; i++ {
+					cfg := benchBase()
+					cfg.Algorithm = alg
+					cfg.MsgLen = ml
+					cfg.OfferedLoad = 0.5
+					res = runPoint(b, cfg)
+				}
+				b.ReportMetric(res.AvgLatency, "latency_cycles")
+				b.ReportMetric(res.Throughput, "throughput")
+			})
+		}
+	}
+}
+
+// BenchmarkEngine measures raw simulator speed: cycles per second of the
+// flit-level engine at a moderate uniform load, per algorithm (more virtual
+// channels mean more state to scan).
+func BenchmarkEngine(b *testing.B) {
+	for _, algName := range []string{"ecube", "2pn", "nbc", "phop"} {
+		b.Run(algName, func(b *testing.B) {
+			g := topology.NewTorus(16, 2)
+			alg, err := routing.Get(algName)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.01, 1)
+			n, err := network.New(network.Config{
+				Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, CCLimit: 2, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := n.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			moves := n.Total().FlitMoves
+			b.ReportMetric(float64(moves)/float64(b.N), "flits/cycle")
+		})
+	}
+}

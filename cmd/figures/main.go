@@ -1,0 +1,81 @@
+// Command figures regenerates the paper's evaluation: Figures 3, 4 and 5
+// (uniform, 4% hotspot and 0.4-locality traffic on a 16-ary 2-cube, six
+// routing algorithms, latency and achieved throughput versus offered load)
+// and the section 3.4 virtual cut-through comparison, plus the peak
+// throughput summary the text reports.
+//
+// Examples:
+//
+//	figures                 # all figures, text tables
+//	figures -fig 3          # Figure 3 only
+//	figures -fig vct        # sec. 3.4 experiment
+//	figures -peaks          # peak-throughput summary only
+//	figures -csv > out.csv  # CSV for plotting
+//	figures -quick          # shorter sampling (sanity pass)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wormsim/internal/core"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to run: 3, 4, 5, vct (default: all)")
+	peaks := flag.Bool("peaks", false, "print only the peak-throughput summary per figure")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	md := flag.Bool("md", false, "emit markdown report sections instead of tables")
+	quick := flag.Bool("quick", false, "shorter warmup/sampling for a fast sanity pass")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	base := core.Config{Seed: *seed}
+	if *quick {
+		base.WarmupCycles, base.SampleCycles, base.GapCycles = 2000, 1000, 300
+		base.MaxSamples = 5
+	}
+
+	specs := core.Figures()
+	if *fig != "" {
+		id := *fig
+		if id == "3" || id == "4" || id == "5" {
+			id = "fig" + id
+		}
+		spec, err := core.FigureByID(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		specs = []core.FigureSpec{spec}
+	}
+
+	for _, spec := range specs {
+		start := time.Now()
+		fr, err := core.RunFigure(spec, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		switch {
+		case *md:
+			fr.WriteMarkdown(os.Stdout)
+		case *peaks:
+			fmt.Printf("# %s: %s\n", spec.ID, spec.Title)
+			for _, p := range fr.Peaks() {
+				fmt.Printf("  %-7s peak throughput %.3f at offered %.2f\n", p.Algorithm, p.Throughput, p.AtLoad)
+			}
+		case *csv:
+			fr.WriteCSV(os.Stdout)
+		default:
+			fr.WriteTable(os.Stdout)
+			fmt.Printf("## peaks\n")
+			for _, p := range fr.Peaks() {
+				fmt.Printf("  %-7s %.3f at offered %.2f\n", p.Algorithm, p.Throughput, p.AtLoad)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "# %s done in %.1fs\n", spec.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,101 @@
+// Command sweep runs a load sweep for one or more algorithms and emits CSV
+// (or an aligned table) suitable for regenerating the paper's curves or
+// exploring new configurations.
+//
+// Examples:
+//
+//	sweep -algs phop,nbc,ecube -loads 0.1:1.0:0.1
+//	sweep -algs nlast,ecube -pattern transpose -loads 0.05:0.6:0.05 -format table
+//	sweep -algs nbc -pattern hotspot:0.08 -cclimit 1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wormsim/internal/core"
+	"wormsim/internal/routing"
+)
+
+func main() {
+	cfg := core.Config{}
+	algs := flag.String("algs", "phop,nhop,nbc,2pn,ecube,nlast", "comma-separated algorithms ("+strings.Join(routing.Names(), ", ")+")")
+	loadSpec := flag.String("loads", "0.1:1.0:0.1", "offered loads: lo:hi:step or comma list")
+	format := flag.String("format", "csv", "output format: csv, table or json")
+	flag.IntVar(&cfg.K, "k", 16, "radix")
+	flag.IntVar(&cfg.N, "n", 2, "dimensions")
+	flag.BoolVar(&cfg.Mesh, "mesh", false, "mesh instead of torus")
+	flag.StringVar(&cfg.Pattern, "pattern", "uniform", "traffic pattern spec")
+	flag.StringVar(&cfg.Policy, "policy", "random", "VC selection policy")
+	sw := flag.String("switching", "wormhole", "switching: wormhole, vct, saf")
+	flag.IntVar(&cfg.MsgLen, "flits", 16, "message length in flits")
+	flag.IntVar(&cfg.BufDepth, "bufdepth", 0, "per-VC buffer depth")
+	flag.IntVar(&cfg.CCLimit, "cclimit", 0, "congestion-control limit (default 2, -1 off)")
+	flag.IntVar(&cfg.InjectionPorts, "ports", 0, "injection ports per node (default 2, -1 unlimited)")
+	flag.IntVar(&cfg.RouteDelay, "routedelay", 0, "router pipeline cycles per header hop")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Int64Var(&cfg.WarmupCycles, "warmup", 0, "warmup cycles")
+	flag.Int64Var(&cfg.SampleCycles, "sample", 0, "cycles per sample")
+	flag.IntVar(&cfg.MaxSamples, "maxsamples", 0, "max sampling periods")
+	flag.Parse()
+	cfg.Switching = core.Switching(*sw)
+	cfg.Seed = *seed
+
+	loads, err := core.ParseLoads(*loadSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch *format {
+	case "csv":
+		fmt.Println("algorithm,pattern,switching,offered,latency,latency_bound,throughput,injection_rate,generated,dropped,delivered,samples,state")
+	case "table":
+		fmt.Printf("%-8s %-10s %8s %10s %10s %10s %8s\n", "alg", "pattern", "offered", "latency", "bound", "thruput", "state")
+	case "json":
+		// one JSON object per line (JSONL), emitted below
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown format %q (csv, table, json)\n", *format)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, alg := range strings.Split(*algs, ",") {
+		alg = strings.TrimSpace(alg)
+		c := cfg
+		c.Algorithm = alg
+		results, err := core.Sweep(c, loads)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", alg, err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			state := "ok"
+			switch {
+			case r.Deadlocked:
+				state = "deadlock"
+			case !r.Converged:
+				state = "max-samples"
+			}
+			switch *format {
+			case "csv":
+				fmt.Printf("%s,%s,%s,%.3f,%.2f,%.2f,%.4f,%.5f,%d,%d,%d,%d,%s\n",
+					r.Algorithm, r.Pattern, r.Switching, r.OfferedLoad, r.AvgLatency, r.LatencyBound,
+					r.Throughput, r.InjectionRate, r.Generated, r.Dropped, r.Delivered, r.Samples, state)
+			case "json":
+				r.ChannelFlits = nil // keep the records small
+				if err := enc.Encode(r); err != nil {
+					fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+					os.Exit(1)
+				}
+			default:
+				fmt.Printf("%-8s %-10s %8.2f %10.1f %10.1f %10.4f %8s\n",
+					r.Algorithm, r.Pattern, r.OfferedLoad, r.AvgLatency, r.LatencyBound, r.Throughput, state)
+			}
+		}
+		peak, at := core.PeakThroughput(results)
+		fmt.Fprintf(os.Stderr, "# %s peak throughput %.3f at offered %.2f\n", alg, peak, at)
+	}
+}

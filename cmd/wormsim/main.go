@@ -1,0 +1,164 @@
+// Command wormsim runs a single simulation point and prints a detailed
+// report: configuration, latency with its 95% error bound, achieved
+// normalized throughput, message accounting, per-hop-class latencies and
+// the virtual-channel load balance.
+//
+// Examples:
+//
+//	wormsim -alg phop -load 0.7
+//	wormsim -alg nbc -pattern hotspot:0.04:255 -load 0.5 -seed 7
+//	wormsim -alg 2pn -switching vct -load 0.6
+//	wormsim -alg ecube -k 8 -mesh -pattern transpose -load 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wormsim/internal/analysis"
+	"wormsim/internal/core"
+	"wormsim/internal/routing"
+	"wormsim/internal/viz"
+)
+
+func main() {
+	cfg := core.Config{}
+	flag.IntVar(&cfg.K, "k", 16, "radix (nodes per dimension)")
+	flag.IntVar(&cfg.N, "n", 2, "dimensions")
+	flag.BoolVar(&cfg.Mesh, "mesh", false, "mesh instead of torus")
+	flag.StringVar(&cfg.Algorithm, "alg", "ecube", "routing algorithm: "+strings.Join(routing.Names(), ", "))
+	flag.StringVar(&cfg.Pattern, "pattern", "uniform", "traffic pattern spec (uniform | hotspot[:frac[:node]] | local[:radius] | transpose | bitrev | complement)")
+	flag.StringVar(&cfg.Policy, "policy", "random", "output VC selection policy: random, first, leastcongested")
+	sw := flag.String("switching", "wormhole", "switching technique: wormhole, vct, saf")
+	flag.Float64Var(&cfg.OfferedLoad, "load", 0.4, "offered channel utilization (fraction of capacity)")
+	flag.Float64Var(&cfg.InjectionRate, "rate", 0, "per-node injection rate (overrides -load if set)")
+	flag.IntVar(&cfg.MsgLen, "flits", 16, "message length in flits")
+	flag.IntVar(&cfg.BufDepth, "bufdepth", 0, "per-VC flit buffer depth (default 4; vct forces message length)")
+	flag.IntVar(&cfg.CCLimit, "cclimit", 0, "congestion-control per-class limit (default 2, -1 disables)")
+	flag.IntVar(&cfg.InjectionPorts, "ports", 0, "concurrent injection ports per node (default 2, -1 unlimited)")
+	flag.IntVar(&cfg.RouteDelay, "routedelay", 0, "router pipeline cycles per header hop")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Int64Var(&cfg.WarmupCycles, "warmup", 0, "warmup cycles (default 5000)")
+	flag.Int64Var(&cfg.SampleCycles, "sample", 0, "cycles per sampling period (default 2000)")
+	flag.IntVar(&cfg.MaxSamples, "maxsamples", 0, "maximum sampling periods (default 12)")
+	verbose := flag.Bool("v", false, "print per-hop-class latencies and VC load balance")
+	configPath := flag.String("config", "", "JSON config file (explicit flags still override)")
+	saveConfig := flag.String("saveconfig", "", "write the effective config to this JSON file and exit")
+	flag.Parse()
+	cfg.Switching = core.Switching(*sw)
+	cfg.Seed = *seed
+
+	if *configPath != "" {
+		loaded, err := core.LoadConfig(*configPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wormsim: %v\n", err)
+			os.Exit(1)
+		}
+		// Explicitly passed flags win over the file; everything else comes
+		// from the file.
+		flagged := cfg
+		cfg = loaded
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "k":
+				cfg.K = flagged.K
+			case "n":
+				cfg.N = flagged.N
+			case "mesh":
+				cfg.Mesh = flagged.Mesh
+			case "alg":
+				cfg.Algorithm = flagged.Algorithm
+			case "pattern":
+				cfg.Pattern = flagged.Pattern
+			case "policy":
+				cfg.Policy = flagged.Policy
+			case "switching":
+				cfg.Switching = flagged.Switching
+			case "load":
+				cfg.OfferedLoad = flagged.OfferedLoad
+			case "rate":
+				cfg.InjectionRate = flagged.InjectionRate
+			case "flits":
+				cfg.MsgLen = flagged.MsgLen
+			case "bufdepth":
+				cfg.BufDepth = flagged.BufDepth
+			case "cclimit":
+				cfg.CCLimit = flagged.CCLimit
+			case "ports":
+				cfg.InjectionPorts = flagged.InjectionPorts
+			case "routedelay":
+				cfg.RouteDelay = flagged.RouteDelay
+			case "seed":
+				cfg.Seed = flagged.Seed
+			case "warmup":
+				cfg.WarmupCycles = flagged.WarmupCycles
+			case "sample":
+				cfg.SampleCycles = flagged.SampleCycles
+			case "maxsamples":
+				cfg.MaxSamples = flagged.MaxSamples
+			}
+		})
+		if cfg.OfferedLoad == 0 && cfg.InjectionRate == 0 {
+			cfg.OfferedLoad = flagged.OfferedLoad // the -load default
+		}
+	}
+	if *saveConfig != "" {
+		if err := cfg.Save(*saveConfig); err != nil {
+			fmt.Fprintf(os.Stderr, "wormsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *saveConfig)
+		return
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wormsim: %v\n", err)
+		if !res.Deadlocked {
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("network      : %d-ary %d-cube", cfg.K, cfg.N)
+	if cfg.Mesh {
+		fmt.Printf(" (mesh)")
+	}
+	fmt.Println()
+	fmt.Printf("algorithm    : %s (%s switching, policy %s)\n", res.Algorithm, res.Switching, cfg.Policy)
+	fmt.Printf("pattern      : %s (mean distance %.3f hops)\n", res.Pattern, res.MeanDistance)
+	fmt.Printf("offered load : %.3f of capacity (%.5f msgs/node/cycle)\n", res.OfferedLoad, res.InjectionRate)
+	fmt.Printf("latency      : %.1f +- %.1f cycles (95%%); p50 %.0f, p95 %.0f, p99 %.0f, max %.0f\n",
+		res.AvgLatency, res.LatencyBound, res.LatencyP50, res.LatencyP95, res.LatencyP99, res.LatencyMax)
+	fmt.Printf("throughput   : %.4f of capacity\n", res.Throughput)
+	fmt.Printf("messages     : %d generated, %d admitted, %d dropped, %d delivered\n",
+		res.Generated, res.Admitted, res.Dropped, res.Delivered)
+	fmt.Printf("samples      : %d (converged: %v, deadlocked: %v)\n", res.Samples, res.Converged, res.Deadlocked)
+
+	if *verbose {
+		fmt.Println("\nhop class latencies (cycles):")
+		for d, l := range res.HopClassLatency {
+			if l >= 0 && d > 0 {
+				fmt.Printf("  %2d hops: %8.1f\n", d, l)
+			}
+		}
+		if len(res.VCFlitShare) > 0 {
+			fmt.Println("virtual-channel load balance (share of flit transfers):")
+			for v, s := range res.VCFlitShare {
+				fmt.Printf("  vc%-2d: %6.2f%% %s\n", v, 100*s, strings.Repeat("#", int(s*120)))
+			}
+		}
+		if len(res.ChannelFlits) > 0 {
+			g := cfg.Grid()
+			fmt.Printf("physical-channel load balance: %v\n", analysis.ChannelBalance(g, res.ChannelFlits))
+			if g.N() == 2 {
+				fmt.Println("per-node traffic heatmap (outgoing flits; darker = busier):")
+				fmt.Print(viz.ChannelHeatmap(g, res.ChannelFlits))
+			}
+		}
+	}
+	if res.Deadlocked {
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,73 @@
+// Deadlockdemo: everything this repository knows about wormhole deadlock in
+// one run.
+//
+//  1. Static analysis: the channel-dependency graphs of the paper's
+//     algorithms on a 4-ary 2-cube — the provably safe ones verify acyclic,
+//     and the literal source-tag reading of the paper's eq. (1) ("2pnsrc")
+//     yields a concrete cycle witness.
+//  2. Dynamics: replaying a known-bad configuration shows 2pnsrc wedging
+//     under load (the watchdog reports the stuck worms), while the per-hop
+//     variant survives the same workload and drains cleanly.
+//
+// Run with: go run ./examples/deadlockdemo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wormsim/internal/cdg"
+	"wormsim/internal/network"
+	"wormsim/internal/routing"
+	"wormsim/internal/topology"
+	"wormsim/internal/traffic"
+)
+
+func main() {
+	fmt.Println("== static analysis: channel-dependency graphs on a 4-ary 2-cube ==")
+	g := topology.NewTorus(4, 2)
+	for _, name := range []string{"ecube", "nlast", "phop", "nhop", "nbc", "2pnsrc"} {
+		alg, err := routing.Get(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cdg.Analyze(g, alg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(" ", res)
+		if !res.Acyclic() {
+			fmt.Println("    witness:", res.DescribeCycle(g))
+		}
+	}
+
+	fmt.Println("\n== dynamics: saturating uniform load on an 8-ary 2-cube ==")
+	for _, name := range []string{"2pn", "2pnsrc"} {
+		big := topology.NewTorus(8, 2)
+		alg, _ := routing.Get(name)
+		wl := traffic.NewBernoulli(big, traffic.NewUniform(big), 0.05, 1)
+		n, err := network.New(network.Config{
+			Grid: big, Algorithm: alg, Workload: wl, MsgLen: 16,
+			CCLimit: 2, Seed: 1, WatchdogCycles: 30000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = n.Run(15000)
+		if err == nil {
+			quiet := traffic.NewBernoulli(big, traffic.NewUniform(big), 0, 1)
+			*wl = *quiet
+			err = n.Drain(200000)
+		}
+		if err != nil {
+			fmt.Printf("  %-7s WEDGED: %d messages stuck after %d flit transfers\n",
+				name, n.InFlight(), n.Total().FlitMoves)
+		} else {
+			fmt.Printf("  %-7s survived and drained: %d messages delivered\n",
+				name, n.Total().Delivered)
+		}
+	}
+	fmt.Println("\nA dependency cycle is necessary but not sufficient for deadlock:")
+	fmt.Println("the per-hop tag also has cycles on tori, yet adaptivity lets its")
+	fmt.Println("worms escape; the source-fixed tag leaves no escape and locks up.")
+}

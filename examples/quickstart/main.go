@@ -1,0 +1,33 @@
+// Quickstart: simulate the paper's headline comparison in a few lines —
+// four wormhole routing algorithms on a 16-ary 2-cube under uniform traffic
+// at a moderate offered load, printing latency and achieved throughput.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wormsim/internal/core"
+)
+
+func main() {
+	fmt.Println("16x16 torus, 16-flit worms, uniform traffic, offered load 0.5")
+	fmt.Printf("%-8s %14s %12s\n", "alg", "latency(cyc)", "throughput")
+	for _, alg := range []string{"phop", "nbc", "ecube", "nlast"} {
+		res, err := core.Run(core.Config{
+			Algorithm:   alg,
+			Pattern:     "uniform",
+			OfferedLoad: 0.5,
+			Seed:        1,
+		})
+		if err != nil {
+			log.Fatalf("quickstart: %s: %v", alg, err)
+		}
+		fmt.Printf("%-8s %8.1f +- %-4.1f %9.3f\n", alg, res.AvgLatency, res.LatencyBound, res.Throughput)
+	}
+	fmt.Println("\nThe fully adaptive hop schemes (phop, nbc) sustain roughly twice the")
+	fmt.Println("throughput of dimension-order e-cube, and the partially adaptive")
+	fmt.Println("north-last trails e-cube — the paper's central result.")
+}

@@ -1,0 +1,49 @@
+// Vctcompare: the paper's section 3.4 side experiment. Under wormhole
+// switching a blocked worm holds a chain of channels, so picking a path
+// that turns out congested is expensive — this is the paper's explanation
+// for the fully adaptive 2pn scheme losing to the hop schemes. Under
+// virtual cut-through the same blocked packet parks entirely in one node's
+// buffer and frees its channels, and 2pn recovers. The example runs both
+// switching techniques at the same offered loads.
+//
+// Run with: go run ./examples/vctcompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wormsim/internal/core"
+)
+
+func main() {
+	algs := []string{"2pn", "nbc", "ecube"}
+	for _, sw := range []core.Switching{core.Wormhole, core.CutThrough} {
+		fmt.Printf("== %s switching, uniform traffic ==\n", sw)
+		fmt.Printf("%-8s", "offered")
+		for _, alg := range algs {
+			fmt.Printf(" %8s-thr", alg)
+		}
+		fmt.Println()
+		for _, load := range []float64{0.3, 0.5, 0.7, 0.9} {
+			fmt.Printf("%-8.2f", load)
+			for _, alg := range algs {
+				res, err := core.Run(core.Config{
+					Algorithm:   alg,
+					Switching:   sw,
+					OfferedLoad: load,
+					Seed:        3,
+				})
+				if err != nil {
+					log.Fatalf("vctcompare: %s/%s at %.2f: %v", alg, sw, load, err)
+				}
+				fmt.Printf(" %12.3f", res.Throughput)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("Cut-through lifts 2pn toward the hop schemes while e-cube gains far")
+	fmt.Println("less: holding channel chains while blocked is what punishes adaptive")
+	fmt.Println("wormhole routing without priority information.")
+}

@@ -1,0 +1,3 @@
+module wormsim
+
+go 1.22

@@ -1,0 +1,240 @@
+// Package cdg builds and analyzes channel-dependency graphs, the formal
+// tool behind every deadlock-freedom claim in the paper (Dally & Seitz): a
+// wormhole routing algorithm is deadlock-free if the graph whose vertices
+// are virtual channels and whose edges connect each virtual channel a
+// message can hold to the virtual channels it may request next is acyclic.
+//
+// Analyze enumerates, for every source/destination pair, every reachable
+// routing state (including direction tie-breaks and nbc's bonus-card
+// choices) on an exact small instance of the topology, collects the
+// dependency edges, and searches for a cycle. An acyclic result is a proof
+// for that instance; a cycle is a concrete counterexample witness. The test
+// suite runs this over all the paper's algorithms — and demonstrates that
+// the literal source-computed 2pn tag (2pnsrc) is cyclic on tori, the
+// reproduction hypothesis of EXPERIMENTS.md.
+package cdg
+
+import (
+	"fmt"
+	"strings"
+
+	"wormsim/internal/message"
+	"wormsim/internal/routing"
+	"wormsim/internal/topology"
+)
+
+// VC identifies a virtual channel: a physical channel slot and a class.
+type VC struct {
+	Channel int
+	Class   int
+}
+
+// Describe renders a VC with its channel's endpoints.
+func (v VC) Describe(g *topology.Grid) string {
+	id, dim, dir := g.ChannelInfo(v.Channel)
+	return fmt.Sprintf("n%d d%d%s vc%d", id, dim, dir, v.Class)
+}
+
+// Result reports one analysis.
+type Result struct {
+	// Algorithm and Grid identify the instance.
+	Algorithm string
+	Grid      string
+	// VCs and Edges count the dependency graph.
+	VCs   int
+	Edges int
+	// Cycle holds one witness cycle (a sequence of VCs each depending on
+	// the next, last depending on first), or nil if the graph is acyclic.
+	Cycle []VC
+}
+
+// Acyclic reports whether no cycle was found, i.e. the instance is
+// deadlock-free by the Dally–Seitz criterion.
+func (r Result) Acyclic() bool { return len(r.Cycle) == 0 }
+
+// String summarizes the result.
+func (r Result) String() string {
+	state := "ACYCLIC (deadlock-free)"
+	if !r.Acyclic() {
+		state = fmt.Sprintf("CYCLE of length %d", len(r.Cycle))
+	}
+	return fmt.Sprintf("%s on %s: %d VCs, %d dependency edges: %s", r.Algorithm, r.Grid, r.VCs, r.Edges, state)
+}
+
+// DescribeCycle renders the witness cycle, if any.
+func (r Result) DescribeCycle(g *topology.Grid) string {
+	if r.Acyclic() {
+		return "(acyclic)"
+	}
+	parts := make([]string, 0, len(r.Cycle)+1)
+	for _, v := range r.Cycle {
+		parts = append(parts, v.Describe(g))
+	}
+	parts = append(parts, r.Cycle[0].Describe(g))
+	return strings.Join(parts, " -> ")
+}
+
+// state is a memoization key for the reachable-state walk of one
+// source/destination pair: the current node, the virtual channel the
+// header arrived on (-1 at the source) and the nbc start class (-1 until
+// latched). The rest of the message state (remaining offsets, hop and
+// negative-hop counts, dateline flags, tags) is a function of these plus
+// the pair's initial offsets, so it need not appear in the key.
+type state struct {
+	node  int
+	inVC  int32
+	bonus int32
+}
+
+// Analyze builds the dependency graph of alg on g and searches it for a
+// cycle. The grid should be small (the walk is exact); 4- to 8-ary 2-cubes
+// analyze in well under a second.
+func Analyze(g *topology.Grid, alg routing.Algorithm) (Result, error) {
+	if err := alg.Compatible(g); err != nil {
+		return Result{}, err
+	}
+	numVCs := alg.NumVCs(g)
+	vcID := func(ch, class int) int32 { return int32(ch*numVCs + class) }
+
+	adj := make(map[int32]map[int32]bool)
+	addEdge := func(from, to int32) {
+		m, ok := adj[from]
+		if !ok {
+			m = make(map[int32]bool)
+			adj[from] = m
+		}
+		m[to] = true
+	}
+
+	var walk func(m *message.Message, node int, inVC int32, visited map[state]bool)
+	walk = func(m *message.Message, node int, inVC int32, visited map[state]bool) {
+		if m.Arrived() {
+			return
+		}
+		key := state{node: node, inVC: inVC, bonus: int32(m.BonusStart)}
+		if m.HopsTaken == 0 {
+			key.bonus = -1
+		}
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		var cands []routing.Candidate
+		cands = alg.Candidates(g, m, node, cands)
+		for _, c := range cands {
+			if !g.HasChannel(node, c.Dim, c.Dir) {
+				continue
+			}
+			ch := g.ChannelIndex(node, c.Dim, c.Dir)
+			out := vcID(ch, c.VC)
+			if inVC >= 0 {
+				addEdge(inVC, out)
+			}
+			// Branch: clone the message, apply the allocation and hop.
+			next := cloneMessage(m)
+			alg.Allocated(g, next, node, c)
+			next.Advance(g, c.Dim, c.Dir, g.Coord(node, c.Dim), g.Parity(node))
+			walk(next, g.Neighbor(node, c.Dim, c.Dir), out, visited)
+		}
+	}
+
+	ties := make([]int, 0, g.N())
+	for src := 0; src < g.Nodes(); src++ {
+		for dst := 0; dst < g.Nodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			// Enumerate every resolution of half-ring direction ties.
+			ties = ties[:0]
+			for dim := 0; dim < g.N(); dim++ {
+				if g.TieInDim(src, dst, dim) {
+					ties = append(ties, dim)
+				}
+			}
+			for mask := 0; mask < 1<<len(ties); mask++ {
+				choice := make(map[int]bool, len(ties))
+				for i, dim := range ties {
+					choice[dim] = mask>>i&1 == 1
+				}
+				m := message.New(g, 0, src, dst, 1, 0, func(dim int) bool { return choice[dim] })
+				alg.Init(g, m)
+				walk(m, src, -1, make(map[state]bool))
+			}
+		}
+	}
+
+	res := Result{
+		Algorithm: alg.Name(),
+		Grid:      g.String(),
+		VCs:       g.ChannelSlots() * numVCs,
+	}
+	for _, out := range adj {
+		res.Edges += len(out)
+	}
+	res.Cycle = findCycle(adj, numVCs)
+	return res, nil
+}
+
+// cloneMessage deep-copies the routing-relevant state.
+func cloneMessage(m *message.Message) *message.Message {
+	c := *m
+	c.Remaining = append([]int(nil), m.Remaining...)
+	c.Crossed = append([]bool(nil), m.Crossed...)
+	return &c
+}
+
+// findCycle runs an iterative colored DFS and returns one cycle as VCs, or
+// nil.
+func findCycle(adj map[int32]map[int32]bool, numVCs int) []VC {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int32]int, len(adj))
+	parent := make(map[int32]int32)
+
+	var cycleFrom, cycleTo int32 = -1, -1
+	var dfs func(u int32) bool
+	dfs = func(u int32) bool {
+		color[u] = gray
+		for v := range adj[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				cycleFrom, cycleTo = u, v
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := range adj {
+		if color[u] == white {
+			if dfs(u) {
+				break
+			}
+		}
+	}
+	if cycleFrom < 0 {
+		return nil
+	}
+	// Reconstruct: cycleTo ... cycleFrom via parents.
+	var rev []int32
+	for v := cycleFrom; ; v = parent[v] {
+		rev = append(rev, v)
+		if v == cycleTo {
+			break
+		}
+	}
+	cycle := make([]VC, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		id := rev[i]
+		cycle = append(cycle, VC{Channel: int(id) / numVCs, Class: int(id) % numVCs})
+	}
+	return cycle
+}

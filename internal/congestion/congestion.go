@@ -1,0 +1,100 @@
+// Package congestion implements the paper's injection-side congestion
+// control, modelled on Lam & Reiser's input-buffer-limit scheme for
+// store-and-forward networks: a node may hold at most Limit unsent messages
+// of each message class; arrivals beyond the limit are discarded. This is
+// what keeps the paper's latency curves bounded beyond saturation while
+// achieved throughput continues to rise.
+package congestion
+
+// Limiter tracks per-node, per-class counts of messages resident at their
+// source (accepted but with tail not yet injected). A nil *Limiter disables
+// congestion control (everything is admitted).
+type Limiter struct {
+	limit    int
+	counts   []map[int]int
+	accepted int64
+	dropped  int64
+}
+
+// NewLimiter returns a limiter for nodes sources with the given per-class
+// limit. A limit <= 0 returns nil: no congestion control.
+func NewLimiter(nodes, limit int) *Limiter {
+	if limit <= 0 {
+		return nil
+	}
+	l := &Limiter{limit: limit, counts: make([]map[int]int, nodes)}
+	for i := range l.counts {
+		l.counts[i] = make(map[int]int)
+	}
+	return l
+}
+
+// Limit returns the per-class limit (0 for a nil limiter).
+func (l *Limiter) Limit() int {
+	if l == nil {
+		return 0
+	}
+	return l.limit
+}
+
+// Admit reports whether a new message of class at node may enter, and if so
+// records it. A nil limiter admits everything.
+func (l *Limiter) Admit(node, class int) bool {
+	if l == nil {
+		return true
+	}
+	if l.counts[node][class] >= l.limit {
+		l.dropped++
+		return false
+	}
+	l.counts[node][class]++
+	l.accepted++
+	return true
+}
+
+// Release records that a previously admitted message of class has fully left
+// node (its tail flit entered the network).
+func (l *Limiter) Release(node, class int) {
+	if l == nil {
+		return
+	}
+	c := l.counts[node][class]
+	if c <= 0 {
+		panic("congestion: release without matching admit")
+	}
+	l.counts[node][class] = c - 1
+}
+
+// Resident returns the number of admitted-but-unsent messages of class at
+// node.
+func (l *Limiter) Resident(node, class int) int {
+	if l == nil {
+		return 0
+	}
+	return l.counts[node][class]
+}
+
+// Accepted returns the total number of admitted messages.
+func (l *Limiter) Accepted() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.accepted
+}
+
+// Dropped returns the total number of discarded arrivals.
+func (l *Limiter) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// ResetCounters zeroes the accepted/dropped statistics (kept across
+// sampling periods only if the caller wants cumulative numbers).
+func (l *Limiter) ResetCounters() {
+	if l == nil {
+		return
+	}
+	l.accepted, l.dropped = 0, 0
+}

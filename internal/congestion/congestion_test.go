@@ -1,0 +1,81 @@
+package congestion
+
+import "testing"
+
+func TestNilLimiterAdmitsEverything(t *testing.T) {
+	var l *Limiter
+	for i := 0; i < 100; i++ {
+		if !l.Admit(0, 0) {
+			t.Fatal("nil limiter refused a message")
+		}
+	}
+	l.Release(0, 0) // must not panic
+	if l.Limit() != 0 || l.Accepted() != 0 || l.Dropped() != 0 || l.Resident(0, 0) != 0 {
+		t.Error("nil limiter statistics should be zero")
+	}
+	l.ResetCounters()
+	if NewLimiter(4, 0) != nil {
+		t.Error("limit 0 should return a nil limiter")
+	}
+}
+
+func TestAdmitUpToLimit(t *testing.T) {
+	l := NewLimiter(4, 2)
+	if l.Limit() != 2 {
+		t.Fatalf("Limit = %d", l.Limit())
+	}
+	if !l.Admit(1, 5) || !l.Admit(1, 5) {
+		t.Fatal("first two admits should pass")
+	}
+	if l.Admit(1, 5) {
+		t.Fatal("third admit should be refused")
+	}
+	if l.Resident(1, 5) != 2 {
+		t.Fatalf("resident = %d", l.Resident(1, 5))
+	}
+	// Other classes and nodes are unaffected.
+	if !l.Admit(1, 6) || !l.Admit(2, 5) {
+		t.Fatal("independent class/node refused")
+	}
+	if l.Accepted() != 4 || l.Dropped() != 1 {
+		t.Fatalf("accepted %d dropped %d", l.Accepted(), l.Dropped())
+	}
+}
+
+func TestReleaseReopens(t *testing.T) {
+	l := NewLimiter(2, 1)
+	if !l.Admit(0, 3) {
+		t.Fatal("admit failed")
+	}
+	if l.Admit(0, 3) {
+		t.Fatal("limit 1 should refuse the second")
+	}
+	l.Release(0, 3)
+	if !l.Admit(0, 3) {
+		t.Fatal("release should reopen the slot")
+	}
+}
+
+func TestReleaseWithoutAdmitPanics(t *testing.T) {
+	l := NewLimiter(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced release did not panic")
+		}
+	}()
+	l.Release(0, 0)
+}
+
+func TestResetCounters(t *testing.T) {
+	l := NewLimiter(1, 1)
+	l.Admit(0, 0)
+	l.Admit(0, 0)
+	l.ResetCounters()
+	if l.Accepted() != 0 || l.Dropped() != 0 {
+		t.Error("counters not reset")
+	}
+	// Residency survives the counter reset.
+	if l.Resident(0, 0) != 1 {
+		t.Error("residency lost on counter reset")
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"wormsim/internal/traffic"
+)
+
+func TestPermutationBurst(t *testing.T) {
+	cfg := Config{K: 8, N: 2}
+	tr, err := PermutationBurst(cfg, "transpose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8x8: 8 diagonal nodes idle -> 56 messages, all at cycle 0.
+	if tr.Len() != 56 {
+		t.Fatalf("transpose burst has %d messages, want 56", tr.Len())
+	}
+	if tr.LastCycle() != 0 {
+		t.Fatalf("burst last cycle %d, want 0", tr.LastCycle())
+	}
+	if _, err := PermutationBurst(cfg, "bogus"); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestRunBatchTranspose(t *testing.T) {
+	cfg := Config{K: 8, N: 2, Algorithm: "nbc", Seed: 3}
+	tr, err := PermutationBurst(cfg, "transpose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBatch(cfg, tr, tr.LastCycle(), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 56 {
+		t.Fatalf("delivered %d, want 56", res.Delivered)
+	}
+	if res.Makespan <= 0 || res.MeanLatency <= 0 {
+		t.Fatalf("degenerate batch result: %+v", res)
+	}
+	if res.MaxLatency < res.LatencyP95 || res.LatencyP95 < res.MeanLatency*0.5 {
+		t.Errorf("latency statistics inconsistent: %+v", res)
+	}
+	// Flit conservation: every message travels its exact distance.
+	g := cfg.Grid()
+	var want int64
+	for src := 0; src < g.Nodes(); src++ {
+		coords := []int{src % 8, src / 8}
+		dst := g.ID([]int{coords[1], coords[0]})
+		if dst == src {
+			continue
+		}
+		want += int64(g.Distance(src, dst)) * 16
+	}
+	if res.FlitMoves != want {
+		t.Errorf("flit moves %d, want %d", res.FlitMoves, want)
+	}
+	if !strings.Contains(res.String(), "makespan=") {
+		t.Errorf("String = %q", res.String())
+	}
+}
+
+// TestRunBatchOrderings: adaptive routing should complete a contended burst
+// no slower than dimension-order routing.
+func TestRunBatchOrderings(t *testing.T) {
+	cfg := Config{K: 8, N: 2, Seed: 3}
+	tr, err := PermutationBurst(cfg, "complement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	makespan := map[string]int64{}
+	for _, alg := range []string{"ecube", "nbc"} {
+		c := cfg
+		c.Algorithm = alg
+		tr.Reseed(0)
+		res, err := RunBatch(c, tr, tr.LastCycle(), 200000)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.Delivered != 64 {
+			t.Fatalf("%s delivered %d, want 64", alg, res.Delivered)
+		}
+		makespan[alg] = res.Makespan
+	}
+	if makespan["nbc"] > makespan["ecube"] {
+		t.Errorf("nbc makespan %d should not exceed ecube's %d on the complement burst",
+			makespan["nbc"], makespan["ecube"])
+	}
+}
+
+func TestRunBatchSAF(t *testing.T) {
+	cfg := Config{K: 8, N: 2, Algorithm: "phop", Switching: StoreFwd, Seed: 1}
+	g := cfg.Grid()
+	tr := traffic.NewTrace(g, "two", []int64{0, 0},
+		[]traffic.Arrival{{Src: 0, Dst: 9}, {Src: 5, Dst: 60}})
+	res, err := RunBatch(cfg, tr, 0, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 2 {
+		t.Fatalf("delivered %d", res.Delivered)
+	}
+	// SAF: latency = hops * msglen with no contention.
+	if res.MaxLatency < 32 {
+		t.Errorf("saf max latency %v suspiciously small", res.MaxLatency)
+	}
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	cfg := Config{K: 8, N: 2, Algorithm: "bogus"}
+	g := cfg.Grid()
+	tr := traffic.NewTrace(g, "x", []int64{0}, []traffic.Arrival{{Src: 0, Dst: 1}})
+	if _, err := RunBatch(cfg, tr, 0, 1000); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	cfg.Algorithm = "ecube"
+	cfg.Switching = "teleport"
+	if _, err := RunBatch(cfg, tr, 0, 1000); err == nil {
+		t.Error("unknown switching accepted")
+	}
+}

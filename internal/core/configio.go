@@ -1,0 +1,38 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// LoadConfig reads a Config from a JSON file. Unset fields keep their zero
+// values and are defaulted by ApplyDefaults at Run time, so a file needs
+// only the fields it wants to pin. Unknown fields are rejected to catch
+// typos.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("core: read config: %w", err)
+	}
+	var cfg Config
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("core: parse config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// Save writes the config as indented JSON.
+func (c Config) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: encode config: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("core: write config: %w", err)
+	}
+	return nil
+}

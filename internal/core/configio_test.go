@@ -1,0 +1,71 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestConfigRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	orig := Config{
+		K: 8, N: 2,
+		Algorithm:   "nbc",
+		Pattern:     "hotspot:0.08",
+		OfferedLoad: 0.45,
+		CCLimit:     3,
+		RouteDelay:  1,
+		Seed:        99,
+	}
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != orig {
+		t.Errorf("round trip changed the config:\n got %+v\nwant %+v", got, orig)
+	}
+}
+
+func TestLoadConfigPartial(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	if err := os.WriteFile(path, []byte(`{"Algorithm":"phop","OfferedLoad":0.6}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Algorithm != "phop" || cfg.OfferedLoad != 0.6 {
+		t.Errorf("loaded %+v", cfg)
+	}
+	cfg.ApplyDefaults()
+	if cfg.K != 16 || cfg.MsgLen != 16 {
+		t.Errorf("defaults not applied after load: %+v", cfg)
+	}
+}
+
+func TestLoadConfigErrors(t *testing.T) {
+	if _, err := LoadConfig("/nonexistent/cfg.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"Algoritm":"typo"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(bad); err == nil {
+		t.Error("unknown field accepted (typo protection broken)")
+	}
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte(`{{{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(garbage); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

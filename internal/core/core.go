@@ -1,0 +1,503 @@
+// Package core runs the paper's experiments end to end: it assembles a
+// topology, routing algorithm, traffic workload and switching technique
+// into a simulation, applies the warmup / sampling / convergence
+// methodology of section 3, and reports average message latency and
+// normalized throughput for a given offered load.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"wormsim/internal/message"
+	"wormsim/internal/network"
+	"wormsim/internal/routing"
+	"wormsim/internal/saf"
+	"wormsim/internal/stats"
+	"wormsim/internal/topology"
+	"wormsim/internal/traffic"
+)
+
+// Switching selects the switching technique.
+type Switching string
+
+// The three switching techniques of the paper: wormhole everywhere,
+// virtual cut-through in sec. 3.4, store-and-forward as the substrate the
+// hop schemes derive from.
+const (
+	Wormhole   Switching = "wormhole"
+	CutThrough Switching = "vct"
+	StoreFwd   Switching = "saf"
+)
+
+// Config specifies one simulation point. The zero value is completed by
+// ApplyDefaults to the paper's setup: a 16-ary 2-cube with 16-flit worms.
+type Config struct {
+	// K and N set the radix and dimension; Mesh selects a mesh instead of a
+	// torus.
+	K, N int
+	Mesh bool
+	// Algorithm is one of ecube, nlast, 2pn, phop, nhop, nbc.
+	Algorithm string
+	// Pattern is a traffic.Parse spec: uniform, hotspot[:frac[:node]],
+	// local[:radius], transpose, bitrev, complement.
+	Pattern string
+	// Policy selects among free output VCs: random (default), first,
+	// leastcongested.
+	Policy string
+	// Switching is wormhole (default), vct or saf.
+	Switching Switching
+
+	// OfferedLoad is the offered channel utilization rho (fraction of
+	// capacity); the per-node injection rate lambda is derived from eq. (4):
+	// lambda = rho * 2n / (MsgLen * meanDistance). If InjectionRate is set
+	// it overrides the derivation.
+	OfferedLoad   float64
+	InjectionRate float64
+
+	// MsgLen is the message length in flits (default 16).
+	MsgLen int
+	// BufDepth is the per-VC flit buffer depth for wormhole (default 2);
+	// vct forces MsgLen.
+	BufDepth int
+	// CCLimit is the congestion-control per-class limit (default 2;
+	// negative disables).
+	CCLimit int
+	// InjectionPorts caps concurrently injecting messages per node
+	// (wormhole/vct only; default 2, negative = unlimited).
+	InjectionPorts int
+	// RouteDelay is the router pipeline latency in cycles per header hop
+	// (wormhole/vct only; default 0, the paper's idealization).
+	RouteDelay int
+
+	Seed uint64
+
+	// Methodology knobs, defaulted to match the paper's description scaled
+	// to quick runs: WarmupCycles before measurement, SampleCycles per
+	// sampling period, GapCycles of unmeasured traffic between periods with
+	// fresh random streams.
+	WarmupCycles int64
+	SampleCycles int64
+	GapCycles    int64
+	MinSamples   int
+	MaxSamples   int
+	// Tolerance is the relative error bound of both convergence criteria
+	// (default 0.05).
+	Tolerance float64
+}
+
+// ApplyDefaults fills unset fields with the paper's defaults.
+func (c *Config) ApplyDefaults() {
+	if c.K == 0 {
+		c.K = 16
+	}
+	if c.N == 0 {
+		c.N = 2
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = "ecube"
+	}
+	if c.Pattern == "" {
+		c.Pattern = "uniform"
+	}
+	if c.Switching == "" {
+		c.Switching = Wormhole
+	}
+	if c.MsgLen == 0 {
+		c.MsgLen = 16
+	}
+	if c.BufDepth == 0 {
+		c.BufDepth = 4
+	}
+	if c.Switching == CutThrough && c.BufDepth < c.MsgLen {
+		c.BufDepth = c.MsgLen
+	}
+	if c.CCLimit == 0 {
+		c.CCLimit = 2
+	}
+	if c.CCLimit < 0 {
+		c.CCLimit = 0
+	}
+	if c.InjectionPorts == 0 {
+		c.InjectionPorts = 2
+	}
+	if c.InjectionPorts < 0 {
+		c.InjectionPorts = 0
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 5000
+	}
+	if c.SampleCycles == 0 {
+		c.SampleCycles = 2000
+	}
+	if c.GapCycles == 0 {
+		c.GapCycles = 500
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 3
+	}
+	if c.MaxSamples == 0 {
+		c.MaxSamples = 12
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 0.05
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+}
+
+// Grid builds the configured topology.
+func (c *Config) Grid() *topology.Grid {
+	if c.Mesh {
+		return topology.NewMesh(c.K, c.N)
+	}
+	return topology.NewTorus(c.K, c.N)
+}
+
+// Result reports one simulation point. It marshals cleanly to JSON for
+// external tooling.
+type Result struct {
+	// Echoes of the run's identity.
+	Algorithm string
+	Pattern   string
+	Switching Switching
+	K, N      int
+	Mesh      bool
+
+	// OfferedLoad is the requested rho; InjectionRate the lambda used;
+	// MeanDistance the workload's exact mean hops.
+	OfferedLoad   float64
+	InjectionRate float64
+	MeanDistance  float64
+
+	// AvgLatency is the across-sample mean of the stratified per-sample
+	// latency estimates, in cycles; LatencyBound the larger of the two
+	// convergence bounds at termination.
+	AvgLatency   float64
+	LatencyBound float64
+	// Throughput is the achieved normalized channel utilization, averaged
+	// over samples.
+	Throughput float64
+
+	// Samples actually taken and whether both criteria were met before
+	// MaxSamples.
+	Samples   int
+	Converged bool
+	// Deadlocked is set when the watchdog fired; the other fields then
+	// describe the run up to that point.
+	Deadlocked bool
+	Cycles     int64
+
+	// Message accounting over the measured windows.
+	Generated int64
+	Admitted  int64
+	Dropped   int64
+	Delivered int64
+
+	// Latency tail quantiles over all measured deliveries (cycles).
+	LatencyP50 float64
+	LatencyP95 float64
+	LatencyP99 float64
+	LatencyMax float64
+
+	// HopClassLatency[i] is the mean latency of messages needing i hops
+	// (-1 where unobserved); VCFlitShare[v] the fraction of flit transfers
+	// on virtual-channel class v (wormhole/vct only).
+	HopClassLatency []float64
+	VCFlitShare     []float64
+	// ChannelFlits holds lifetime flit transfers per dense channel slot
+	// (wormhole/vct only); feed it to analysis.ChannelBalance or
+	// viz.ChannelHeatmap.
+	ChannelFlits []int64 `json:",omitempty"`
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	state := "ok"
+	if r.Deadlocked {
+		state = "DEADLOCK"
+	} else if !r.Converged {
+		state = "max-samples"
+	}
+	return fmt.Sprintf("%-5s %-9s rho=%.2f lat=%7.1f+-%-5.1f thr=%.3f drops=%d [%s]",
+		r.Algorithm, r.Pattern, r.OfferedLoad, r.AvgLatency, r.LatencyBound, r.Throughput, r.Dropped, state)
+}
+
+// stepper abstracts the two engines for the measurement loop.
+type stepper interface {
+	Step() error
+	Reseed(seed uint64)
+}
+
+// safAdapter adds Reseed to the saf engine.
+type safAdapter struct {
+	*saf.Network
+	wl traffic.Workload
+}
+
+func (a safAdapter) Reseed(seed uint64) { a.wl.Reseed(seed) }
+
+// Run executes one simulation point.
+func Run(cfg Config) (Result, error) {
+	cfg.ApplyDefaults()
+	g := cfg.Grid()
+	alg, err := routing.Get(cfg.Algorithm)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := alg.Compatible(g); err != nil {
+		return Result{}, err
+	}
+	pattern, err := traffic.Parse(g, cfg.Pattern)
+	if err != nil {
+		return Result{}, err
+	}
+	policy, err := routing.GetPolicy(cfg.Policy)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Probe the pattern's mean distance with a zero-rate workload, then
+	// derive lambda via eq. (4): rho = lambda * msgLen * meanDist / 2n.
+	probe := traffic.NewBernoulli(g, pattern, 0, cfg.Seed)
+	meanDist := probe.MeanDistance()
+	lambda := cfg.InjectionRate
+	if lambda == 0 {
+		if meanDist == 0 {
+			return Result{}, fmt.Errorf("core: pattern %s generates no traffic", cfg.Pattern)
+		}
+		lambda = cfg.OfferedLoad * float64(2*g.N()) / (float64(cfg.MsgLen) * meanDist)
+	}
+	if lambda > 1 {
+		return Result{}, fmt.Errorf("core: offered load %.3g needs injection rate %.3g > 1 message/node/cycle", cfg.OfferedLoad, lambda)
+	}
+	wl := traffic.NewBernoulli(g, pattern, lambda, cfg.Seed)
+
+	res := Result{
+		Algorithm:     cfg.Algorithm,
+		Pattern:       cfg.Pattern,
+		Switching:     cfg.Switching,
+		K:             cfg.K,
+		N:             cfg.N,
+		Mesh:          cfg.Mesh,
+		OfferedLoad:   cfg.OfferedLoad,
+		InjectionRate: lambda,
+		MeanDistance:  meanDist,
+	}
+
+	// The delivery hook routes latencies into the current sample's
+	// stratified estimator (nil outside measured windows).
+	var sample *stats.Stratified
+	hopStats := make([]stats.Welford, g.Diameter()+1)
+	var latHist stats.Histogram
+	onDeliver := func(m *message.Message) {
+		if sample != nil {
+			sample.Add(m.HopsTotal, float64(m.Latency()))
+			hopStats[m.HopsTotal].Add(float64(m.Latency()))
+			latHist.Add(float64(m.Latency()))
+		}
+	}
+
+	var st stepper
+	var wn *network.Network
+	var sn *saf.Network
+	switch cfg.Switching {
+	case Wormhole, CutThrough:
+		wn, err = network.New(network.Config{
+			Grid: g, Algorithm: alg, Policy: policy, Workload: wl,
+			MsgLen: cfg.MsgLen, BufDepth: cfg.BufDepth, CCLimit: cfg.CCLimit,
+			InjectionPorts: cfg.InjectionPorts, RouteDelay: cfg.RouteDelay,
+			Seed: cfg.Seed, OnDeliver: onDeliver,
+		})
+		if err != nil {
+			return res, err
+		}
+		st = wn
+	case StoreFwd:
+		sn, err = saf.New(saf.Config{
+			Grid: g, Algorithm: alg, Policy: policy, Workload: wl,
+			MsgLen: cfg.MsgLen, CCLimit: cfg.CCLimit,
+			Seed: cfg.Seed, OnDeliver: onDeliver,
+		})
+		if err != nil {
+			return res, err
+		}
+		st = safAdapter{sn, wl}
+	default:
+		return res, fmt.Errorf("core: unknown switching %q", cfg.Switching)
+	}
+
+	runFor := func(cycles int64) error {
+		for i := int64(0); i < cycles; i++ {
+			if err := st.Step(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	weights := wl.HopClassWeights()
+	conv := &stats.Convergence{MinSamples: cfg.MinSamples, MaxSamples: cfg.MaxSamples, Tolerance: cfg.Tolerance}
+	var thr stats.Welford
+	var deadlock error
+
+	finish := func() {
+		res.Cycles = cfgCycles(cfg, conv.Samples())
+		if wn != nil {
+			t := wn.Total()
+			res.Generated, res.Admitted, res.Dropped, res.Delivered = t.Generated, t.Admitted, t.Dropped, t.Delivered
+			if t.FlitMoves > 0 {
+				res.VCFlitShare = make([]float64, len(t.FlitMovesByClass))
+				for i, f := range t.FlitMovesByClass {
+					res.VCFlitShare[i] = float64(f) / float64(t.FlitMoves)
+				}
+			}
+		} else {
+			res.Generated, res.Admitted, res.Dropped, res.Delivered = sn.Counts()
+		}
+		res.HopClassLatency = make([]float64, len(hopStats))
+		for i := range hopStats {
+			if hopStats[i].Count() == 0 {
+				res.HopClassLatency[i] = -1 // unobserved (JSON has no NaN)
+			} else {
+				res.HopClassLatency[i] = hopStats[i].Mean()
+			}
+		}
+		if wn != nil {
+			res.ChannelFlits = wn.ChannelFlitCounts()
+		}
+		res.Samples = conv.Samples()
+		res.Throughput = thr.Mean()
+		if latHist.Count() > 0 {
+			q := latHist.Quantiles(0.5, 0.95, 0.99)
+			res.LatencyP50, res.LatencyP95, res.LatencyP99 = q[0], q[1], q[2]
+			res.LatencyMax = latHist.Max()
+		}
+	}
+
+	if err := runFor(cfg.WarmupCycles); err != nil {
+		deadlock = err
+	}
+	var lastBound float64
+	for deadlock == nil {
+		sample = stats.NewStratified(weights)
+		if wn != nil {
+			wn.ResetWindow()
+		}
+		startMoves, startCycles := engineWindow(wn, sn)
+		if err := runFor(cfg.SampleCycles); err != nil {
+			deadlock = err
+			break
+		}
+		endMoves, endCycles := engineWindow(wn, sn)
+		if endCycles > startCycles {
+			thr.Add(float64(endMoves-startMoves) / (float64(endCycles-startCycles) * float64(g.NumChannels())))
+		}
+		conv.Record(sample.Mean())
+		lastBound = sample.ErrorBound()
+		done := conv.Done(sample)
+		sample = nil
+		if done {
+			res.Converged = conv.Samples() < cfg.MaxSamples
+			break
+		}
+		// Unmeasured gap with fresh random streams, per the paper.
+		st.Reseed(cfg.Seed + uint64(conv.Samples())*0x9e3779b97f4a7c15)
+		if err := runFor(cfg.GapCycles); err != nil {
+			deadlock = err
+			break
+		}
+	}
+
+	acrossBound, acrossMean := conv.AcrossSampleBound()
+	res.AvgLatency = acrossMean
+	res.LatencyBound = math.Max(lastBound, acrossBound)
+	if math.IsInf(res.LatencyBound, 1) {
+		res.LatencyBound = lastBound
+	}
+	finish()
+	if deadlock != nil {
+		res.Deadlocked = true
+		res.Converged = false
+		return res, deadlock
+	}
+	return res, nil
+}
+
+// engineWindow reads cumulative flit moves and cycles from whichever engine
+// is active.
+func engineWindow(wn *network.Network, sn *saf.Network) (moves, cycles int64) {
+	if wn != nil {
+		t := wn.Total()
+		return t.FlitMoves, t.Cycles
+	}
+	return sn.FlitMoves(), sn.Now()
+}
+
+// cfgCycles estimates cycles simulated for reporting.
+func cfgCycles(cfg Config, samples int) int64 {
+	return cfg.WarmupCycles + int64(samples)*(cfg.SampleCycles+cfg.GapCycles)
+}
+
+// Sweep runs cfg at each offered load, in parallel across the machine's
+// cores (each individual simulation is single-threaded and deterministic,
+// so the results are identical to a sequential sweep). Results come back in
+// load order. Deadlocks are recorded in their Result rather than aborting
+// the sweep; any other error aborts.
+func Sweep(cfg Config, loads []float64) ([]Result, error) {
+	return SweepN(cfg, loads, runtime.GOMAXPROCS(0))
+}
+
+// SweepN is Sweep with an explicit worker count (minimum 1).
+func SweepN(cfg Config, loads []float64, workers int) ([]Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(loads) {
+		workers = len(loads)
+	}
+	results := make([]Result, len(loads))
+	errs := make([]error, len(loads))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				c := cfg
+				c.OfferedLoad = loads[i]
+				r, err := Run(c)
+				results[i] = r
+				if err != nil && !r.Deadlocked {
+					errs[i] = fmt.Errorf("core: sweep at rho=%.3g: %w", loads[i], err)
+				}
+			}
+		}()
+	}
+	for i := range loads {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// PeakThroughput returns the maximum achieved throughput in results and the
+// offered load where it occurred.
+func PeakThroughput(results []Result) (peak, atLoad float64) {
+	for _, r := range results {
+		if r.Throughput > peak {
+			peak, atLoad = r.Throughput, r.OfferedLoad
+		}
+	}
+	return peak, atLoad
+}

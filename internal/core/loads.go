@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseLoads parses an offered-load axis specification: either a range
+// "lo:hi:step" (inclusive of hi within floating slack) or a comma-separated
+// list "0.1,0.25,0.4".
+func ParseLoads(spec string) ([]float64, error) {
+	if strings.Contains(spec, ":") {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("core: load range must be lo:hi:step, got %q", spec)
+		}
+		var lo, hi, step float64
+		for i, dst := range []*float64{&lo, &hi, &step} {
+			v, err := strconv.ParseFloat(parts[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: bad load range component %q: %v", parts[i], err)
+			}
+			*dst = v
+		}
+		if step <= 0 || hi < lo {
+			return nil, fmt.Errorf("core: bad load range %q", spec)
+		}
+		var loads []float64
+		for x := lo; x <= hi+1e-9; x += step {
+			loads = append(loads, x)
+		}
+		return loads, nil
+	}
+	var loads []float64
+	for _, s := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad load %q: %v", s, err)
+		}
+		loads = append(loads, v)
+	}
+	return loads, nil
+}

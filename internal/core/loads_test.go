@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseLoadsRange(t *testing.T) {
+	loads, err := ParseLoads("0.1:0.5:0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.1, 0.3, 0.5}
+	if len(loads) != len(want) {
+		t.Fatalf("loads = %v, want %v", loads, want)
+	}
+	for i := range want {
+		if math.Abs(loads[i]-want[i]) > 1e-9 {
+			t.Errorf("loads[%d] = %v, want %v", i, loads[i], want[i])
+		}
+	}
+	// The upper bound is included despite floating accumulation.
+	loads, err = ParseLoads("0.1:1.0:0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loads) != 10 {
+		t.Errorf("0.1:1.0:0.1 gave %d points, want 10", len(loads))
+	}
+}
+
+func TestParseLoadsList(t *testing.T) {
+	loads, err := ParseLoads("0.25, 0.5,0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loads) != 3 || loads[0] != 0.25 || loads[2] != 0.9 {
+		t.Errorf("loads = %v", loads)
+	}
+}
+
+func TestParseLoadsErrors(t *testing.T) {
+	for _, bad := range []string{"0.1:0.5", "a:b:c", "0.5:0.1:0.1", "0.1:0.5:0", "x,y", ""} {
+		if _, err := ParseLoads(bad); err == nil {
+			t.Errorf("ParseLoads(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests exercise the paper's measurement methodology end to end:
+// warmup, sampling periods with fresh streams, stratified convergence, and
+// the interaction between load and the stopping rule.
+
+// TestConvergenceFasterAtLowLoad: below saturation the 5% bounds are met in
+// few samples; deep in saturation the run uses more (the paper: "longer
+// warmup and sampling times are needed ... near and beyond saturation").
+func TestConvergenceFasterAtLowLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	base := Config{
+		K: 8, N: 2,
+		Algorithm:    "ecube",
+		Seed:         13,
+		WarmupCycles: 1500,
+		SampleCycles: 700,
+		GapCycles:    150,
+		MaxSamples:   10,
+	}
+	low := base
+	low.OfferedLoad = 0.15
+	lowRes, err := Run(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lowRes.Converged {
+		t.Errorf("low load did not converge in %d samples", lowRes.Samples)
+	}
+	high := base
+	high.OfferedLoad = 0.9
+	highRes, err := Run(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if highRes.Samples < lowRes.Samples {
+		t.Errorf("saturated run used %d samples, unsaturated %d — expected at least as many",
+			highRes.Samples, lowRes.Samples)
+	}
+}
+
+// TestBoundsCoverTruth: for a low-load run, eq. (2)'s prediction must fall
+// within the reported 95% bound of the measured mean (with generous slack
+// for the w term).
+func TestBoundsCoverTruth(t *testing.T) {
+	cfg := Config{
+		K: 8, N: 2,
+		Algorithm:    "nbc",
+		OfferedLoad:  0.05,
+		Seed:         17,
+		WarmupCycles: 1000,
+		SampleCycles: 800,
+		GapCycles:    150,
+		MaxSamples:   6,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := res.MeanDistance + 16 - 1
+	if res.AvgLatency < floor-res.LatencyBound-0.5 {
+		t.Errorf("measured %v below the physical floor %v", res.AvgLatency, floor)
+	}
+	if res.AvgLatency > floor+5 {
+		t.Errorf("measured %v far above the near-unloaded prediction %v", res.AvgLatency, floor)
+	}
+	if res.LatencyBound <= 0 || res.LatencyBound > 5 {
+		t.Errorf("bound %v implausible for a low-load run", res.LatencyBound)
+	}
+}
+
+// TestSeedSensitivityWithinBounds: two seeds must agree within their
+// combined 95% bounds at low load (the statistics are honest).
+func TestSeedSensitivityWithinBounds(t *testing.T) {
+	run := func(seed uint64) Result {
+		res, err := Run(Config{
+			K: 8, N: 2,
+			Algorithm:    "phop",
+			OfferedLoad:  0.2,
+			Seed:         seed,
+			WarmupCycles: 1200,
+			SampleCycles: 800,
+			GapCycles:    150,
+			MaxSamples:   8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(9999)
+	diff := math.Abs(a.AvgLatency - b.AvgLatency)
+	allowance := a.LatencyBound + b.LatencyBound + 1
+	if diff > allowance {
+		t.Errorf("seeds disagree by %.2f cycles, bounds only allow %.2f (a=%v b=%v)",
+			diff, allowance, a.AvgLatency, b.AvgLatency)
+	}
+}
+
+// TestThroughputMatchesDeliveryRate: achieved utilization, recomputed from
+// delivered messages and mean distance, agrees with the channel-counter
+// value at an unsaturated load (eq. 3 two ways).
+func TestThroughputMatchesDeliveryRate(t *testing.T) {
+	cfg := Config{
+		K: 8, N: 2,
+		Algorithm:    "nbc",
+		OfferedLoad:  0.3,
+		Seed:         23,
+		WarmupCycles: 1500,
+		SampleCycles: 1000,
+		GapCycles:    200,
+		MaxSamples:   4,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All measured cycles: warmup + samples + gaps; using totals is only
+	// approximate, so allow 10%.
+	g := cfg.Grid()
+	cyclesTotal := float64(res.Cycles)
+	fromDeliveries := float64(res.Delivered) * res.MeanDistance * 16 / (cyclesTotal * float64(g.NumChannels()))
+	if math.Abs(fromDeliveries-res.Throughput) > 0.1*res.Throughput {
+		t.Errorf("throughput from deliveries %.4f vs counter %.4f", fromDeliveries, res.Throughput)
+	}
+}
+
+// TestGapReseedDecorrelatesSamples: with gaps and reseeds, consecutive
+// sample means are not identical (fresh streams per sampling period, as the
+// paper prescribes).
+func TestGapReseedDecorrelatesSamples(t *testing.T) {
+	// Run twice with the same seed but different MaxSamples; if reseeding
+	// works, the extra samples change the across-sample mean slightly.
+	base := Config{
+		K: 8, N: 2,
+		Algorithm:    "ecube",
+		OfferedLoad:  0.25,
+		Seed:         29,
+		WarmupCycles: 800,
+		SampleCycles: 400,
+		GapCycles:    100,
+		MinSamples:   3,
+		MaxSamples:   3,
+		Tolerance:    1e-9, // force MaxSamples to bind
+	}
+	three, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.MinSamples, base.MaxSamples = 6, 6
+	six, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.AvgLatency == six.AvgLatency {
+		t.Error("3- and 6-sample runs report identical means; sampling machinery suspicious")
+	}
+	if six.Samples != 6 || three.Samples != 3 {
+		t.Errorf("sample counts %d/%d, want 3/6", three.Samples, six.Samples)
+	}
+}

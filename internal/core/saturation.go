@@ -1,0 +1,65 @@
+package core
+
+import "fmt"
+
+// FindSaturation locates the saturation load of a configuration by binary
+// search: the largest offered load (within tol) whose achieved throughput
+// stays within slack of offered. It refines between lo and hi (fractions of
+// capacity) and returns the bracketing result at the saturation knee.
+//
+// This automates reading the "knee" off the paper's throughput curves: the
+// offered load where achieved stops tracking offered is where the latency
+// curves turn vertical.
+func FindSaturation(cfg Config, lo, hi, tol, slack float64) (load float64, at Result, err error) {
+	cfg.ApplyDefaults()
+	if !(lo >= 0 && hi > lo) {
+		return 0, Result{}, fmt.Errorf("core: bad saturation bracket [%g, %g]", lo, hi)
+	}
+	if tol <= 0 {
+		tol = 0.02
+	}
+	if slack <= 0 {
+		slack = 0.02
+	}
+	tracks := func(rho float64) (bool, Result, error) {
+		c := cfg
+		c.OfferedLoad = rho
+		r, err := Run(c)
+		if err != nil && !r.Deadlocked {
+			return false, r, err
+		}
+		if r.Deadlocked {
+			return false, r, nil
+		}
+		return rho-r.Throughput <= slack, r, nil
+	}
+	// Establish the bracket: lo must track, hi must not. Grow/shrink as
+	// needed within [0, 1].
+	ok, r, err := tracks(lo)
+	if err != nil {
+		return 0, r, err
+	}
+	if !ok {
+		return lo, r, nil // saturated below the bracket already
+	}
+	best := r
+	load = lo
+	if ok, r, err = tracks(hi); err != nil {
+		return 0, r, err
+	} else if ok {
+		return hi, r, nil // never saturates within the bracket
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		ok, r, err := tracks(mid)
+		if err != nil {
+			return 0, r, err
+		}
+		if ok {
+			lo, load, best = mid, mid, r
+		} else {
+			hi = mid
+		}
+	}
+	return load, best, nil
+}

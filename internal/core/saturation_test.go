@@ -1,0 +1,71 @@
+package core
+
+import "testing"
+
+func TestFindSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := Config{
+		K: 8, N: 2,
+		Algorithm:    "ecube",
+		Seed:         5,
+		WarmupCycles: 1200,
+		SampleCycles: 600,
+		GapCycles:    150,
+		MaxSamples:   4,
+	}
+	load, at, err := FindSaturation(cfg, 0.1, 1.0, 0.05, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// e-cube on an 8x8 torus saturates somewhere in the 0.3-0.6 band; the
+	// point is the bracket invariants, not the exact knee.
+	if load < 0.15 || load > 0.7 {
+		t.Errorf("ecube saturation at %.3f, expected mid-range", load)
+	}
+	if at.OfferedLoad != load {
+		t.Errorf("result echoes load %.3f, want %.3f", at.OfferedLoad, load)
+	}
+	if load-at.Throughput > 0.03 {
+		t.Errorf("knee result not tracking: offered %.3f achieved %.3f", load, at.Throughput)
+	}
+
+	// A hop scheme saturates strictly later than e-cube.
+	cfg.Algorithm = "nbc"
+	nbcLoad, _, err := FindSaturation(cfg, 0.1, 1.0, 0.05, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nbcLoad <= load {
+		t.Errorf("nbc saturates at %.3f, should be beyond ecube's %.3f", nbcLoad, load)
+	}
+}
+
+func TestFindSaturationBracketErrors(t *testing.T) {
+	cfg := Config{K: 8, N: 2, Algorithm: "ecube", WarmupCycles: 200, SampleCycles: 200, MaxSamples: 3}
+	if _, _, err := FindSaturation(cfg, 0.5, 0.5, 0.05, 0.02); err == nil {
+		t.Error("degenerate bracket accepted")
+	}
+	if _, _, err := FindSaturation(cfg, -1, 0.5, 0.05, 0.02); err == nil {
+		t.Error("negative bracket accepted")
+	}
+}
+
+func TestFindSaturationNeverSaturates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// Within a tiny load bracket nothing saturates: the search reports hi.
+	cfg := Config{
+		K: 8, N: 2, Algorithm: "nbc", Seed: 5,
+		WarmupCycles: 800, SampleCycles: 400, GapCycles: 100, MaxSamples: 3,
+	}
+	load, _, err := FindSaturation(cfg, 0.05, 0.15, 0.05, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load != 0.15 {
+		t.Errorf("unsaturated bracket should return hi, got %.3f", load)
+	}
+}

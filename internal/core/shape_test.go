@@ -1,0 +1,157 @@
+package core
+
+import "testing"
+
+// Shape tests assert the paper's qualitative findings end to end on a
+// reduced 8-ary 2-cube with shortened methodology windows. Margins are
+// generous: these are ordering checks, not magnitude checks (EXPERIMENTS.md
+// holds the full-size numbers).
+
+// shapeRun runs one point on the reduced network.
+func shapeRun(t *testing.T, alg, pattern string, load float64, sw Switching) Result {
+	t.Helper()
+	res, err := Run(Config{
+		K: 8, N: 2,
+		Algorithm:    alg,
+		Pattern:      pattern,
+		Switching:    sw,
+		OfferedLoad:  load,
+		Seed:         101,
+		WarmupCycles: 1500,
+		SampleCycles: 800,
+		GapCycles:    200,
+		MaxSamples:   5,
+	})
+	if err != nil {
+		t.Fatalf("%s/%s at %.2f: %v", alg, pattern, load, err)
+	}
+	return res
+}
+
+// TestShapeHopSchemesBeatECube: the paper's central result — at saturating
+// uniform load every hop scheme sustains well above e-cube.
+func TestShapeHopSchemesBeatECube(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	ecube := shapeRun(t, "ecube", "uniform", 0.7, Wormhole)
+	for _, alg := range []string{"phop", "nhop", "nbc"} {
+		hop := shapeRun(t, alg, "uniform", 0.7, Wormhole)
+		if hop.Throughput < 1.4*ecube.Throughput {
+			t.Errorf("%s throughput %.3f should far exceed ecube %.3f", alg, hop.Throughput, ecube.Throughput)
+		}
+	}
+}
+
+// TestShapeECubeBeatsNlast: partial adaptivity is not a win (uniform).
+func TestShapeECubeBeatsNlast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	ecube := shapeRun(t, "ecube", "uniform", 0.6, Wormhole)
+	nlast := shapeRun(t, "nlast", "uniform", 0.6, Wormhole)
+	if nlast.Throughput >= ecube.Throughput {
+		t.Errorf("nlast %.3f should trail ecube %.3f under uniform traffic", nlast.Throughput, ecube.Throughput)
+	}
+}
+
+// TestShapeHopSchemesBoundedLatency: congestion control keeps hop-scheme
+// latencies bounded (small multiples of the unloaded latency) even far past
+// saturation, while e-cube's saturation latency blows up.
+func TestShapeHopSchemesBoundedLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	unloaded := 4.06 + 16 - 1 // mean distance of 8^2 torus + ml - 1
+	phop := shapeRun(t, "phop", "uniform", 0.9, Wormhole)
+	if phop.AvgLatency > 6*unloaded {
+		t.Errorf("phop saturation latency %.1f not bounded (unloaded %.1f)", phop.AvgLatency, unloaded)
+	}
+	ecube := shapeRun(t, "ecube", "uniform", 0.9, Wormhole)
+	if ecube.AvgLatency < phop.AvgLatency {
+		t.Errorf("ecube saturation latency %.1f should exceed phop's %.1f", ecube.AvgLatency, phop.AvgLatency)
+	}
+}
+
+// TestShapeLocalTraffic2pnBeatsECube: the paper's one wormhole win for 2pn.
+func TestShapeLocalTraffic2pnBeatsECube(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	twopn := shapeRun(t, "2pn", "local:2", 0.7, Wormhole)
+	ecube := shapeRun(t, "ecube", "local:2", 0.7, Wormhole)
+	if twopn.Throughput <= ecube.Throughput {
+		t.Errorf("2pn %.3f should beat ecube %.3f under local traffic", twopn.Throughput, ecube.Throughput)
+	}
+}
+
+// TestShapeHotspotDegradesECubeMost: hotspot traffic saturates e-cube far
+// below the hop schemes.
+func TestShapeHotspotDegradesECubeMost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	nbc := shapeRun(t, "nbc", "hotspot:0.04:63", 0.5, Wormhole)
+	ecube := shapeRun(t, "ecube", "hotspot:0.04:63", 0.5, Wormhole)
+	if nbc.Throughput < 1.5*ecube.Throughput {
+		t.Errorf("nbc %.3f should far exceed ecube %.3f under hotspot traffic", nbc.Throughput, ecube.Throughput)
+	}
+}
+
+// TestShapeVCTRecovers2pn: sec. 3.4 — cut-through lifts 2pn much more than
+// e-cube.
+func TestShapeVCTRecovers2pn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	wh := shapeRun(t, "2pn", "uniform", 0.8, Wormhole)
+	vct := shapeRun(t, "2pn", "uniform", 0.8, CutThrough)
+	if vct.Throughput <= wh.Throughput {
+		t.Errorf("vct 2pn %.3f should beat wormhole 2pn %.3f", vct.Throughput, wh.Throughput)
+	}
+	ecubeWh := shapeRun(t, "ecube", "uniform", 0.8, Wormhole)
+	ecubeVct := shapeRun(t, "ecube", "uniform", 0.8, CutThrough)
+	gain2pn := vct.Throughput / wh.Throughput
+	gainEcube := ecubeVct.Throughput / ecubeWh.Throughput
+	if gain2pn <= gainEcube {
+		t.Errorf("vct gain for 2pn (%.2fx) should exceed ecube's (%.2fx)", gain2pn, gainEcube)
+	}
+}
+
+// TestShapeBonusCardsBalanceVCs: nbc spreads flit traffic across VC classes
+// far more evenly than nhop (the imbalance the bonus cards exist to fix).
+func TestShapeBonusCardsBalanceVCs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	spread := func(shares []float64) float64 {
+		max, min := 0.0, 1.0
+		for _, s := range shares {
+			if s > max {
+				max = s
+			}
+			if s < min {
+				min = s
+			}
+		}
+		return max - min
+	}
+	nhop := shapeRun(t, "nhop", "uniform", 0.5, Wormhole)
+	nbc := shapeRun(t, "nbc", "uniform", 0.5, Wormhole)
+	if spread(nbc.VCFlitShare) >= spread(nhop.VCFlitShare) {
+		t.Errorf("nbc VC share spread %.3f should be tighter than nhop's %.3f",
+			spread(nbc.VCFlitShare), spread(nhop.VCFlitShare))
+	}
+}
+
+// TestShapeMoreVCsHelpECube: the A-VC ablation's direction, in miniature.
+func TestShapeMoreVCsHelpECube(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	one := shapeRun(t, "ecube", "uniform", 0.6, Wormhole)
+	four := shapeRun(t, "ecube4x", "uniform", 0.6, Wormhole)
+	if four.Throughput <= one.Throughput {
+		t.Errorf("4-lane ecube %.3f should beat plain ecube %.3f", four.Throughput, one.Throughput)
+	}
+}

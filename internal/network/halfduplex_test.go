@@ -1,0 +1,137 @@
+package network
+
+import (
+	"testing"
+
+	"wormsim/internal/message"
+	"wormsim/internal/routing"
+	"wormsim/internal/topology"
+	"wormsim/internal/traffic"
+)
+
+// TestHalfDuplexSharesOneLink: two opposing single-hop messages over the
+// same link serialize under half-duplex but stream concurrently with
+// unidirectional channel pairs.
+func TestHalfDuplexSharesOneLink(t *testing.T) {
+	g := topology.NewTorus(16, 2)
+	run := func(half bool) int64 {
+		alg, _ := routing.Get("ecube")
+		wl := traffic.NewTrace(g, "oppose", []int64{0, 0}, []traffic.Arrival{
+			{Src: g.ID([]int{0, 0}), Dst: g.ID([]int{1, 0})},
+			{Src: g.ID([]int{1, 0}), Dst: g.ID([]int{0, 0})},
+		})
+		var last int64
+		n, err := New(Config{
+			Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, HalfDuplex: half, Seed: 1,
+			OnDeliver: func(m *message.Message) {
+				if m.DeliverTime > last {
+					last = m.DeliverTime
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Drain(5000); err != nil {
+			t.Fatal(err)
+		}
+		return last
+	}
+	full := run(false)
+	half := run(true)
+	if full != 16 { // both single-hop worms finish together: 1 + 16 - 1
+		t.Errorf("full-duplex makespan %d, want 16", full)
+	}
+	// Half-duplex: 32 flits share one link at 1 flit/cycle; perfect
+	// alternation finishes near cycle 32.
+	if half < 30 {
+		t.Errorf("half-duplex makespan %d, want about 32", half)
+	}
+}
+
+// TestHalfDuplexFairAlternation: neither direction starves; both opposing
+// messages complete and their latencies are within 2x of each other.
+func TestHalfDuplexFairAlternation(t *testing.T) {
+	g := topology.NewTorus(16, 2)
+	alg, _ := routing.Get("ecube")
+	wl := traffic.NewTrace(g, "oppose", []int64{0, 0}, []traffic.Arrival{
+		{Src: g.ID([]int{4, 4}), Dst: g.ID([]int{7, 4})},
+		{Src: g.ID([]int{7, 4}), Dst: g.ID([]int{4, 4})},
+	})
+	var lats []int64
+	n, err := New(Config{
+		Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, HalfDuplex: true, Seed: 1,
+		OnDeliver: func(m *message.Message) { lats = append(lats, m.Latency()) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Drain(5000); err != nil {
+		t.Fatal(err)
+	}
+	if len(lats) != 2 {
+		t.Fatalf("delivered %d", len(lats))
+	}
+	lo, hi := lats[0], lats[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi > 2*lo {
+		t.Errorf("half-duplex starved one direction: latencies %v", lats)
+	}
+}
+
+// TestHalfDuplexFootnoteFive reproduces the direction of the paper's
+// footnote 5: normalized by its halved channel count, a half-duplex
+// e-cube mesh achieves HIGHER normalized throughput than the
+// two-unidirectional-channel model of the paper ("the use of two
+// unidirectional channels ... results in lower throughputs").
+func TestHalfDuplexFootnoteFive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	g := topology.NewMesh(8, 2)
+	run := func(half bool) float64 {
+		alg, _ := routing.Get("ecube")
+		wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.02, 7)
+		n, err := New(Config{
+			Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16,
+			CCLimit: 1, HalfDuplex: half, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Run(6000); err != nil {
+			t.Fatal(err)
+		}
+		return n.Total().Utilization(n.EffectiveChannels())
+	}
+	uni := run(false)
+	halfDuplex := run(true)
+	if halfDuplex <= uni {
+		t.Errorf("normalized half-duplex utilization %.3f should exceed unidirectional %.3f (footnote 5)",
+			halfDuplex, uni)
+	}
+}
+
+// TestEffectiveChannels covers the normalization helper.
+func TestEffectiveChannels(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	alg, _ := routing.Get("ecube")
+	wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.01, 1)
+	full, _ := New(Config{Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, Seed: 1})
+	if full.EffectiveChannels() != 256 {
+		t.Errorf("full duplex channels %d, want 256", full.EffectiveChannels())
+	}
+	wl2 := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.01, 1)
+	half, _ := New(Config{Grid: g, Algorithm: alg, Workload: wl2, MsgLen: 16, HalfDuplex: true, Seed: 1})
+	if half.EffectiveChannels() != 128 {
+		t.Errorf("half duplex channels %d, want 128", half.EffectiveChannels())
+	}
+}

@@ -1,0 +1,680 @@
+// Package network is the flit-level discrete-event simulator at the heart
+// of the reproduction: wormhole-switched k-ary n-cubes and meshes with
+// virtual channels time-multiplexed on unidirectional physical channels,
+// header-driven virtual-channel allocation, credit-based flit flow control,
+// injection-side congestion control and a deadlock watchdog.
+//
+// # Model
+//
+// Every physical channel carries one flit per cycle (the paper's ft = 1) and
+// hosts V virtual channels, each with a small flit buffer at its receiving
+// node. A message (worm) advances as a pipeline: its header allocates one
+// virtual channel per hop, chosen by the routing algorithm among the
+// admissible candidates that are currently free; body flits follow the
+// header's path; the tail releases each virtual channel as it passes.
+// Blocked worms hold their channels, which is precisely what distinguishes
+// wormhole from virtual cut-through: with BufDepth >= message length a
+// blocked worm instead fits entirely in one node's buffer and frees its
+// upstream channels, so the same engine simulates the paper's sec. 3.4
+// virtual cut-through experiment.
+//
+// Flits of one message are indistinguishable and FIFO, so buffers track
+// counts rather than flit objects: each virtual channel records how many
+// flits it currently buffers and how many it has received and forwarded in
+// total. The header is "present" when one flit has been received and none
+// forwarded; the tail "passes" when the forwarded count reaches the message
+// length.
+//
+// The simulator is cycle-driven with a two-phase transfer step (decide all
+// moves from start-of-cycle state, then apply), which makes a cycle
+// equivalent to the event-driven simulation of the paper at ft = 1 while
+// staying deterministic for a given seed.
+package network
+
+import (
+	"fmt"
+	"strings"
+
+	"wormsim/internal/congestion"
+	"wormsim/internal/message"
+	"wormsim/internal/rng"
+	"wormsim/internal/routing"
+	"wormsim/internal/topology"
+	"wormsim/internal/traffic"
+)
+
+// Config describes one simulated network.
+type Config struct {
+	// Grid is the topology (required).
+	Grid *topology.Grid
+	// Algorithm is the wormhole routing algorithm (required).
+	Algorithm routing.Algorithm
+	// Policy selects among free candidate output virtual channels; nil means
+	// routing.RandomPolicy.
+	Policy routing.SelectionPolicy
+	// Workload generates arrivals (required).
+	Workload traffic.Workload
+	// MsgLen is the message length in flits (paper: 16).
+	MsgLen int
+	// BufDepth is the per-virtual-channel flit buffer depth. The default 2
+	// lets an unblocked worm sustain one flit per cycle per channel;
+	// >= MsgLen yields virtual cut-through behaviour.
+	BufDepth int
+	// CCLimit is the congestion-control per-class message limit at each
+	// source (0 disables congestion control).
+	CCLimit int
+	// InjectionPorts caps how many messages per node may be actively
+	// injecting (holding a first-hop virtual channel) at once; queued
+	// messages wait their turn. 0 means unlimited.
+	InjectionPorts int
+	// Seed drives direction tie-breaking and adaptive selection.
+	Seed uint64
+	// RouteDelay models router pipeline latency: a header that arrives at a
+	// node waits this many cycles before it may bid for an output virtual
+	// channel. 0 (the default, the paper's idealization) routes in the
+	// arrival cycle. The paper's discussion notes adaptive routing logic
+	// "could increase the node delay per hop" — this knob quantifies that
+	// claim (bench A-RTD).
+	RouteDelay int
+	// HalfDuplex couples each pair of opposite channels into one
+	// bidirectional link carrying one flit per cycle in total — the channel
+	// model of Song's study that the paper's footnote 5 compares against
+	// ("the use of two unidirectional channels ... results in lower
+	// throughputs"). Utilization should then be normalized by half the
+	// channel count (see EffectiveChannels).
+	HalfDuplex bool
+	// WatchdogCycles is how long the network may go without any flit
+	// movement while messages are in flight before Step reports a deadlock
+	// (default 20000; < 0 disables).
+	WatchdogCycles int64
+	// OnDeliver, if set, is called for every delivered message with the
+	// delivery cycle already recorded.
+	OnDeliver func(*message.Message)
+	// OnHeaderHop, if set, is called whenever a header flit completes a hop
+	// into the given node over (dim, dir) — a flight recorder for path
+	// verification and visualization.
+	OnHeaderHop func(m *message.Message, node int, dim int, dir topology.Dir)
+}
+
+// vc is the state of one input virtual-channel buffer (or injection slot).
+type vc struct {
+	msg *message.Message
+	// node is where this buffer's flits reside: the downstream node of the
+	// channel, or the source node for an injection slot.
+	node int
+	// ch is the owning physical channel index, or -1 for an injection slot.
+	ch int
+	// class is the virtual-channel class on ch (0 for injection slots).
+	class int
+	// flits currently buffered; recvd/sent are lifetime totals. Injection
+	// slots start with flits = msg.Len (the whole message is available at
+	// the source).
+	flits int
+	recvd int
+	sent  int
+	// routed reports whether the header has been assigned an output.
+	routed bool
+	// outCh/outVC identify the allocated output virtual channel; outCh is
+	// -1 for ejection at the destination.
+	outCh int
+	outVC int
+	// outDim/outDir cache the decoded direction of outCh.
+	outDim int
+	outDir topology.Dir
+	// routeReadyAt is the earliest cycle the header may bid for an output
+	// (arrival cycle + RouteDelay).
+	routeReadyAt int64
+	// activeIdx is the position in Network.active, for swap-removal.
+	activeIdx int
+}
+
+// Counters is a snapshot of a measurement window.
+type Counters struct {
+	// Cycles covered by the window.
+	Cycles int64
+	// FlitMoves counts flit transfers across physical channels.
+	FlitMoves int64
+	// Generated, Admitted, Dropped and Delivered count messages.
+	Generated int64
+	Admitted  int64
+	Dropped   int64
+	Delivered int64
+	// FlitMovesByClass breaks FlitMoves down by virtual-channel class, the
+	// paper's virtual-channel load-balance observable.
+	FlitMovesByClass []int64
+}
+
+// Utilization returns achieved normalized throughput: flit moves per cycle
+// per physical channel (eq. (3) of the paper).
+func (c Counters) Utilization(channels int) float64 {
+	if c.Cycles == 0 || channels == 0 {
+		return 0
+	}
+	return float64(c.FlitMoves) / (float64(c.Cycles) * float64(channels))
+}
+
+// Network is a running simulation. Create with New; advance with Step or
+// Run.
+type Network struct {
+	cfg     Config
+	g       *topology.Grid
+	alg     routing.Algorithm
+	policy  routing.SelectionPolicy
+	wl      traffic.Workload
+	numVCs  int
+	limiter *congestion.Limiter
+	rt      *rng.Stream
+
+	now        int64
+	nextMsgID  int64
+	inFlight   int
+	lastMotion int64
+
+	// vcs[ch*numVCs+class] is the input buffer of that virtual channel at
+	// the channel's downstream node.
+	vcs []vc
+	// active lists every live vc (owned buffers and injection slots).
+	active []*vc
+
+	// Per-channel round-robin pointer and owner count (congestion score).
+	rr     []uint32
+	owners []int32
+	// flitsByChannel counts lifetime flit transfers per physical channel
+	// slot, for load-balance analysis.
+	flitsByChannel []int64
+	// injecting counts actively injecting messages per node (InjectionPorts
+	// enforcement).
+	injecting []int32
+
+	// Scratch, reused across cycles.
+	arrivals   []traffic.Arrival
+	cands      []routing.Candidate
+	freeCands  []routing.Candidate
+	freeScores []int
+	moves      []*vc
+	reqs       [][]*vc
+	touched    []int
+
+	window Counters
+	total  Counters
+}
+
+// New validates cfg and builds the network.
+func New(cfg Config) (*Network, error) {
+	if cfg.Grid == nil || cfg.Algorithm == nil || cfg.Workload == nil {
+		return nil, fmt.Errorf("network: Grid, Algorithm and Workload are required")
+	}
+	if err := cfg.Algorithm.Compatible(cfg.Grid); err != nil {
+		return nil, err
+	}
+	if cfg.MsgLen <= 0 {
+		cfg.MsgLen = 16
+	}
+	if cfg.BufDepth == 0 {
+		cfg.BufDepth = 2
+	}
+	if cfg.BufDepth < 1 {
+		return nil, fmt.Errorf("network: BufDepth %d must be >= 1", cfg.BufDepth)
+	}
+	if cfg.WatchdogCycles == 0 {
+		cfg.WatchdogCycles = 20000
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = routing.RandomPolicy{}
+	}
+	g := cfg.Grid
+	n := &Network{
+		cfg:     cfg,
+		g:       g,
+		alg:     cfg.Algorithm,
+		policy:  cfg.Policy,
+		wl:      cfg.Workload,
+		numVCs:  cfg.Algorithm.NumVCs(g),
+		limiter: congestion.NewLimiter(g.Nodes(), cfg.CCLimit),
+		rt:      rng.NewStream(cfg.Seed, 0x90f7),
+	}
+	slots := g.ChannelSlots()
+	n.vcs = make([]vc, slots*n.numVCs)
+	for ch := 0; ch < slots; ch++ {
+		up, dim, dir := g.ChannelInfo(ch)
+		down := g.Neighbor(up, dim, dir)
+		for class := 0; class < n.numVCs; class++ {
+			s := &n.vcs[ch*n.numVCs+class]
+			s.ch = ch
+			s.class = class
+			s.node = down // -1 on mesh boundaries; such slots stay unused
+		}
+	}
+	n.rr = make([]uint32, slots)
+	n.owners = make([]int32, slots)
+	n.injecting = make([]int32, g.Nodes())
+	n.flitsByChannel = make([]int64, slots)
+	n.reqs = make([][]*vc, slots)
+	n.window.FlitMovesByClass = make([]int64, n.numVCs)
+	n.total.FlitMovesByClass = make([]int64, n.numVCs)
+	return n, nil
+}
+
+// Grid returns the topology.
+func (n *Network) Grid() *topology.Grid { return n.g }
+
+// NumVCs returns the virtual channels per physical channel in use.
+func (n *Network) NumVCs() int { return n.numVCs }
+
+// Now returns the current cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// InFlight returns the number of admitted messages not yet delivered.
+func (n *Network) InFlight() int { return n.inFlight }
+
+// Window returns the counters accumulated since the last ResetWindow.
+func (n *Network) Window() Counters {
+	w := n.window
+	w.FlitMovesByClass = append([]int64(nil), n.window.FlitMovesByClass...)
+	return w
+}
+
+// Total returns the counters accumulated since construction.
+func (n *Network) Total() Counters {
+	t := n.total
+	t.FlitMovesByClass = append([]int64(nil), n.total.FlitMovesByClass...)
+	return t
+}
+
+// ResetWindow zeroes the window counters (e.g. at a sampling-period
+// boundary).
+func (n *Network) ResetWindow() {
+	n.window = Counters{FlitMovesByClass: make([]int64, n.numVCs)}
+}
+
+// Reseed hands fresh random streams to the workload and the router's
+// tie-breaking, per the paper's sampling methodology.
+func (n *Network) Reseed(seed uint64) {
+	n.wl.Reseed(seed)
+	n.rt = rng.NewStream(seed, 0x90f7)
+}
+
+// DeadlockError reports that the watchdog saw no flit motion for its window
+// while messages were in flight.
+type DeadlockError struct {
+	Cycle    int64
+	InFlight int
+	Detail   string
+}
+
+// Error describes the deadlock.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("network: no flit motion for %d cycles with %d messages in flight (possible deadlock)\n%s",
+		e.Cycle, e.InFlight, e.Detail)
+}
+
+// Step advances the simulation one cycle: arrivals, virtual-channel
+// allocation, ejection of flits that arrived in earlier cycles, then
+// channel arbitration and flit transfer. Ejecting before transferring makes
+// consumption take one cycle, so an unloaded message's latency is exactly
+// eq. (2)'s (ml + d - 1) cycles.
+func (n *Network) Step() error {
+	n.inject()
+	n.allocate()
+	n.eject()
+	moved := n.transfer()
+	if moved {
+		n.lastMotion = n.now
+	}
+	n.now++
+	n.window.Cycles++
+	n.total.Cycles++
+	if n.cfg.WatchdogCycles > 0 && n.inFlight > 0 && n.now-n.lastMotion > n.cfg.WatchdogCycles {
+		return &DeadlockError{Cycle: n.now - n.lastMotion, InFlight: n.inFlight, Detail: n.describeStuck(8)}
+	}
+	return nil
+}
+
+// Run advances the simulation the given number of cycles.
+func (n *Network) Run(cycles int64) error {
+	for i := int64(0); i < cycles; i++ {
+		if err := n.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// inject generates this cycle's arrivals and admits them through congestion
+// control onto injection slots.
+func (n *Network) inject() {
+	n.arrivals = n.wl.Arrivals(n.now, n.arrivals[:0])
+	for _, a := range n.arrivals {
+		n.window.Generated++
+		n.total.Generated++
+		m := message.New(n.g, n.nextMsgID, a.Src, a.Dst, n.cfg.MsgLen, n.now, func(int) bool { return n.rt.Bernoulli(0.5) })
+		n.nextMsgID++
+		n.alg.Init(n.g, m)
+		if !n.limiter.Admit(a.Src, m.Class) {
+			n.window.Dropped++
+			n.total.Dropped++
+			continue
+		}
+		n.window.Admitted++
+		n.total.Admitted++
+		n.inFlight++
+		s := &vc{msg: m, node: a.Src, ch: -1, flits: m.Len}
+		n.addActive(s)
+	}
+}
+
+// addActive appends s to the active list.
+func (n *Network) addActive(s *vc) {
+	s.activeIdx = len(n.active)
+	n.active = append(n.active, s)
+}
+
+// removeActive swap-removes s from the active list.
+func (n *Network) removeActive(s *vc) {
+	last := len(n.active) - 1
+	i := s.activeIdx
+	n.active[i] = n.active[last]
+	n.active[i].activeIdx = i
+	n.active = n.active[:last]
+	s.activeIdx = -1
+}
+
+// allocate routes headers: every live vc holding an unrouted header tries to
+// acquire an output virtual channel.
+func (n *Network) allocate() {
+	count := len(n.active)
+	if count == 0 {
+		return
+	}
+	// Rotate the scan start each cycle so no node gets a standing priority
+	// in virtual-channel contention.
+	start := n.rt.Intn(count)
+	for i := 0; i < count; i++ {
+		s := n.active[(start+i)%count]
+		if s.routed || s.recvd == 0 && s.ch != -1 {
+			continue
+		}
+		if s.msg == nil || n.now < s.routeReadyAt {
+			continue
+		}
+		if s.ch == -1 && n.cfg.InjectionPorts > 0 && int(n.injecting[s.node]) >= n.cfg.InjectionPorts {
+			continue // all injection ports busy; wait for one to free up
+		}
+		n.route(s)
+	}
+}
+
+// route attempts virtual-channel allocation for the header in s.
+func (n *Network) route(s *vc) {
+	m := s.msg
+	node := s.node
+	if m.Dst == node {
+		s.routed = true
+		s.outCh = -1
+		return
+	}
+	n.cands = n.alg.Candidates(n.g, m, node, n.cands[:0])
+	n.freeCands = n.freeCands[:0]
+	n.freeScores = n.freeScores[:0]
+	for _, c := range n.cands {
+		ch := n.g.ChannelIndex(node, c.Dim, c.Dir)
+		if !n.g.HasChannel(node, c.Dim, c.Dir) {
+			continue
+		}
+		t := &n.vcs[ch*n.numVCs+c.VC]
+		if t.msg != nil {
+			continue
+		}
+		n.freeCands = append(n.freeCands, c)
+		n.freeScores = append(n.freeScores, int(n.owners[ch]))
+	}
+	if len(n.freeCands) == 0 {
+		return
+	}
+	pick := n.policy.Select(n.freeCands, n.freeScores, n.rt)
+	c := n.freeCands[pick]
+	ch := n.g.ChannelIndex(node, c.Dim, c.Dir)
+	t := &n.vcs[ch*n.numVCs+c.VC]
+	t.msg = m
+	t.flits, t.recvd, t.sent = 0, 0, 0
+	t.routed = false
+	t.routeReadyAt = 0
+	t.outCh = 0
+	n.owners[ch]++
+	n.addActive(t)
+	s.routed = true
+	s.outCh = ch
+	s.outVC = c.VC
+	s.outDim = c.Dim
+	s.outDir = c.Dir
+	if s.ch == -1 {
+		n.injecting[s.node]++
+	}
+	n.alg.Allocated(n.g, m, node, c)
+}
+
+// transfer performs channel arbitration and moves at most one flit per
+// physical channel, two-phase: all decisions are made against start-of-cycle
+// state, then applied. It reports whether any flit moved (including
+// ejection-side drains recorded by eject, which calls back via markMotion).
+func (n *Network) transfer() bool {
+	// Phase 1: collect requesters per physical channel.
+	n.touched = n.touched[:0]
+	for _, s := range n.active {
+		if !s.routed || s.outCh < 0 || s.flits == 0 {
+			continue
+		}
+		t := &n.vcs[s.outCh*n.numVCs+s.outVC]
+		if t.flits >= n.cfg.BufDepth {
+			continue // no credit downstream
+		}
+		if len(n.reqs[s.outCh]) == 0 {
+			n.touched = append(n.touched, s.outCh)
+		}
+		n.reqs[s.outCh] = append(n.reqs[s.outCh], s)
+	}
+	// Phase 2: pick one winner per channel (rotating priority) and move its
+	// flit.
+	n.moves = n.moves[:0]
+	for _, ch := range n.touched {
+		req := n.reqs[ch]
+		winner := req[int(n.rr[ch])%len(req)]
+		n.rr[ch]++
+		n.moves = append(n.moves, winner)
+		n.reqs[ch] = req[:0]
+	}
+	if n.cfg.HalfDuplex && len(n.moves) > 1 {
+		n.moves = n.dropReverseConflicts(n.moves)
+	}
+	for _, s := range n.moves {
+		n.applyMove(s)
+	}
+	return len(n.moves) > 0
+
+}
+
+// dropReverseConflicts enforces half-duplex links: when both directions of
+// a link won arbitration this cycle, only one (alternating per link) keeps
+// its grant.
+func (n *Network) dropReverseConflicts(moves []*vc) []*vc {
+	byCh := make(map[int]*vc, len(moves))
+	for _, s := range moves {
+		byCh[s.outCh] = s
+	}
+	dropped := map[*vc]bool{}
+	for _, s := range moves {
+		up, dim, dir := n.g.ChannelInfo(s.outCh)
+		down := n.g.Neighbor(up, dim, dir)
+		rev := n.g.ChannelIndex(down, dim, dir.Opposite())
+		if s.outCh > rev {
+			continue // each conflicting pair is handled from its lower side
+		}
+		r, both := byCh[rev]
+		if !both {
+			continue
+		}
+		// Alternate the winner per link across cycles.
+		n.rr[s.outCh]++
+		if n.rr[s.outCh]%2 == 0 {
+			dropped[s] = true
+		} else {
+			dropped[r] = true
+		}
+	}
+	if len(dropped) == 0 {
+		return moves
+	}
+	kept := moves[:0]
+	for _, s := range moves {
+		if !dropped[s] {
+			kept = append(kept, s)
+		}
+	}
+	return kept
+}
+
+// applyMove transfers one flit from s across its output channel.
+func (n *Network) applyMove(s *vc) {
+	m := s.msg
+	t := &n.vcs[s.outCh*n.numVCs+s.outVC]
+	s.flits--
+	s.sent++
+	t.flits++
+	t.recvd++
+	n.window.FlitMoves++
+	n.total.FlitMoves++
+	n.window.FlitMovesByClass[s.outVC]++
+	n.total.FlitMovesByClass[s.outVC]++
+	n.flitsByChannel[s.outCh]++
+	if t.recvd == 1 {
+		// Header hop completed: update the message's routing state from the
+		// upstream node's viewpoint.
+		up, dim, dir := n.g.ChannelInfo(s.outCh)
+		m.Advance(n.g, dim, dir, n.g.Coord(up, dim), n.g.Parity(up))
+		t.routeReadyAt = n.now + 1 + int64(n.cfg.RouteDelay)
+		if n.cfg.OnHeaderHop != nil {
+			n.cfg.OnHeaderHop(m, t.node, dim, dir)
+		}
+	}
+	if s.sent == m.Len {
+		// Tail has left this buffer: release it.
+		if s.ch == -1 {
+			n.limiter.Release(s.node, m.Class)
+			n.injecting[s.node]--
+		} else {
+			n.owners[s.ch]--
+		}
+		n.removeActive(s)
+		s.msg = nil
+	}
+}
+
+// eject drains every buffer whose message has reached its destination; the
+// paper's node model consumes arriving flits without competing for network
+// channels.
+func (n *Network) eject() {
+	for i := 0; i < len(n.active); i++ {
+		s := n.active[i]
+		if !s.routed || s.outCh != -1 || s.flits == 0 || s.ch == -1 {
+			continue
+		}
+		m := s.msg
+		s.sent += s.flits
+		s.flits = 0
+		n.lastMotion = n.now
+		if s.sent == m.Len {
+			m.DeliverTime = n.now
+			n.owners[s.ch]--
+			n.removeActive(s)
+			s.msg = nil
+			i-- // the swapped-in element must be visited too
+			n.inFlight--
+			n.window.Delivered++
+			n.total.Delivered++
+			if n.cfg.OnDeliver != nil {
+				n.cfg.OnDeliver(m)
+			}
+		}
+	}
+}
+
+// Drain runs until no messages are in flight or maxCycles pass; it reports
+// an error on deadlock or if the deadline is hit with messages still
+// in flight. The workload keeps injecting during a drain only if it still
+// has arrivals (use a zero-rate or exhausted workload to quiesce).
+func (n *Network) Drain(maxCycles int64) error {
+	for i := int64(0); i < maxCycles; i++ {
+		if n.inFlight == 0 {
+			return nil
+		}
+		if err := n.Step(); err != nil {
+			return err
+		}
+	}
+	if n.inFlight > 0 {
+		return fmt.Errorf("network: %d messages still in flight after %d drain cycles", n.inFlight, maxCycles)
+	}
+	return nil
+}
+
+// Limiter exposes the congestion limiter (nil when disabled).
+func (n *Network) Limiter() *congestion.Limiter { return n.limiter }
+
+// EffectiveChannels returns the channel count to normalize utilization by:
+// the grid's unidirectional channel count, halved under half-duplex links.
+func (n *Network) EffectiveChannels() int {
+	if n.cfg.HalfDuplex {
+		return n.g.NumChannels() / 2
+	}
+	return n.g.NumChannels()
+}
+
+// ChannelFlitCounts returns lifetime flit transfers per physical channel,
+// indexed by the grid's dense channel index (mesh boundary slots stay 0).
+func (n *Network) ChannelFlitCounts() []int64 {
+	return append([]int64(nil), n.flitsByChannel...)
+}
+
+// OccupiedVCsByClass returns how many virtual channels of each class are
+// currently owned by a worm.
+func (n *Network) OccupiedVCsByClass() []int {
+	counts := make([]int, n.numVCs)
+	for _, s := range n.active {
+		if s.ch >= 0 && s.msg != nil {
+			counts[s.class]++
+		}
+	}
+	return counts
+}
+
+// describeStuck renders up to limit stuck worms for deadlock diagnostics.
+func (n *Network) describeStuck(limit int) string {
+	var b strings.Builder
+	seen := map[int64]bool{}
+	for _, s := range n.active {
+		if s.msg == nil || seen[s.msg.ID] {
+			continue
+		}
+		seen[s.msg.ID] = true
+		where := "injection"
+		if s.ch >= 0 {
+			up, dim, dir := n.g.ChannelInfo(s.ch)
+			where = fmt.Sprintf("ch %d->%s d%d%s vc%d", up, nodeName(n.g, s.node), dim, dir, s.class)
+		}
+		fmt.Fprintf(&b, "  %v at %s routed=%v flits=%d\n", s.msg, where, s.routed, s.flits)
+		if len(seen) >= limit {
+			fmt.Fprintf(&b, "  ... and more\n")
+			break
+		}
+	}
+	return b.String()
+}
+
+// nodeName renders a node id with coordinates for diagnostics.
+func nodeName(g *topology.Grid, id int) string {
+	if id < 0 {
+		return "edge"
+	}
+	coords := make([]int, g.N())
+	return fmt.Sprintf("%d%v", id, g.Coords(id, coords))
+}

@@ -1,0 +1,142 @@
+package network
+
+import (
+	"testing"
+
+	"wormsim/internal/message"
+	"wormsim/internal/routing"
+	"wormsim/internal/topology"
+	"wormsim/internal/traffic"
+)
+
+// runOneWithDelay measures the unloaded latency of a single message under
+// the given router pipeline delay.
+func runOneWithDelay(t *testing.T, algName string, rd int, src, dst [2]int) int64 {
+	t.Helper()
+	g := topology.NewTorus(16, 2)
+	alg, _ := routing.Get(algName)
+	wl := traffic.NewTrace(g, "one", []int64{0},
+		[]traffic.Arrival{{Src: g.ID(src[:]), Dst: g.ID(dst[:])}})
+	var lat int64 = -1
+	n, err := New(Config{
+		Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, RouteDelay: rd, Seed: 1,
+		OnDeliver: func(m *message.Message) { lat = m.Latency() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Drain(20000); err != nil {
+		t.Fatal(err)
+	}
+	if lat < 0 {
+		t.Fatal("message not delivered")
+	}
+	return lat
+}
+
+// TestRouteDelayUnloadedLatency pins the unloaded latency under router
+// pipeline delay r: the header pays r at each of the d-1 intermediate
+// nodes and at the destination's ejection stage, minus one cycle absorbed
+// by the first-hop overlap — d + ml - 1 + (d*r - 1) for r >= 1.
+func TestRouteDelayUnloadedLatency(t *testing.T) {
+	src, dst := [2]int{0, 0}, [2]int{3, 2} // d = 5
+	base := runOneWithDelay(t, "ecube", 0, src, dst)
+	if base != 20 { // 5 + 16 - 1
+		t.Fatalf("rd=0 latency %d, want 20", base)
+	}
+	for _, rd := range []int{1, 2, 3} {
+		got := runOneWithDelay(t, "ecube", rd, src, dst)
+		want := base + int64(5*rd-1)
+		if got != want {
+			t.Errorf("rd=%d latency %d, want %d", rd, got, want)
+		}
+	}
+}
+
+// TestRouteDelayAppliesToAllAlgorithms: the delay penalizes every
+// algorithm identically at zero load (it models the pipeline, not the
+// routing function).
+func TestRouteDelayAppliesToAllAlgorithms(t *testing.T) {
+	for _, alg := range []string{"ecube", "nbc", "2pn"} {
+		d0 := runOneWithDelay(t, alg, 0, [2]int{1, 1}, [2]int{4, 5})
+		d2 := runOneWithDelay(t, alg, 2, [2]int{1, 1}, [2]int{4, 5})
+		if d2 <= d0 {
+			t.Errorf("%s: rd=2 latency %d not above rd=0 latency %d", alg, d2, d0)
+		}
+		if d2-d0 != 13 { // d = 7: 7*2 - 1
+			t.Errorf("%s: rd=2 penalty %d, want 13", alg, d2-d0)
+		}
+	}
+}
+
+// TestOnHeaderHopTracesMinimalPaths uses the flight recorder to verify,
+// end to end in the simulator, that every delivered worm followed a
+// minimal path composed of per-hop-legal moves.
+func TestOnHeaderHopTracesMinimalPaths(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	for _, algName := range []string{"ecube", "nlast", "2pn", "nbc"} {
+		alg, _ := routing.Get(algName)
+		wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.02, 7)
+		hops := map[int64]int{}
+		positions := map[int64]int{}
+		n, err := New(Config{
+			Grid: g, Algorithm: alg, Workload: wl, MsgLen: 8, CCLimit: 2, Seed: 7,
+			OnHeaderHop: func(m *message.Message, node, dim int, dir topology.Dir) {
+				if _, seen := positions[m.ID]; !seen {
+					positions[m.ID] = m.Src
+				}
+				expect := g.Neighbor(positions[m.ID], dim, dir)
+				if expect != node {
+					t.Fatalf("%s: msg %d hopped to %d, expected neighbour %d", algName, m.ID, node, expect)
+				}
+				positions[m.ID] = node
+				hops[m.ID]++
+			},
+			OnDeliver: func(m *message.Message) {
+				if positions[m.ID] != m.Dst {
+					t.Fatalf("%s: msg %d delivered at recorded position %d, dst %d", algName, m.ID, positions[m.ID], m.Dst)
+				}
+				if hops[m.ID] != m.HopsTotal {
+					t.Fatalf("%s: msg %d took %d hops, minimal is %d", algName, m.ID, hops[m.ID], m.HopsTotal)
+				}
+				delete(hops, m.ID)
+				delete(positions, m.ID)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Run(3000); err != nil {
+			t.Fatalf("%s: %v", algName, err)
+		}
+		if n.Total().Delivered == 0 {
+			t.Fatalf("%s: nothing delivered", algName)
+		}
+	}
+}
+
+// TestRouteDelayThroughputCost: under load, router delay costs saturation
+// throughput — the hardware-cost counterargument the paper raises against
+// complex adaptive routers, made measurable.
+func TestRouteDelayThroughputCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	run := func(rd int) float64 {
+		g := topology.NewTorus(8, 2)
+		alg, _ := routing.Get("nbc")
+		wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.04, 5)
+		n, _ := New(Config{Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, CCLimit: 2, RouteDelay: rd, Seed: 5})
+		if err := n.Run(6000); err != nil {
+			t.Fatal(err)
+		}
+		return n.Total().Utilization(g.NumChannels())
+	}
+	fast, slow := run(0), run(4)
+	if slow >= fast {
+		t.Errorf("router delay should cost throughput: rd=0 %.3f, rd=4 %.3f", fast, slow)
+	}
+}

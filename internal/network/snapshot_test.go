@@ -1,0 +1,33 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"wormsim/internal/routing"
+	"wormsim/internal/topology"
+	"wormsim/internal/traffic"
+)
+
+func TestSnapshot(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	alg, _ := routing.Get("nbc")
+	wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.02, 3)
+	n, err := New(Config{Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Snapshot(); !strings.Contains(got, "0 worms in flight") {
+		t.Errorf("empty snapshot = %q", got)
+	}
+	if err := n.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	snap := n.Snapshot()
+	if !strings.Contains(snap, "worms in flight") || !strings.Contains(snap, "holds") {
+		t.Errorf("loaded snapshot missing structure:\n%s", snap)
+	}
+	if n.InFlight() > 0 && !strings.Contains(snap, "msg ") {
+		t.Errorf("snapshot lists no worms despite %d in flight:\n%s", n.InFlight(), snap)
+	}
+}

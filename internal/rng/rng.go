@@ -1,0 +1,126 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// streams for the simulator.
+//
+// The paper's methodology requires several independent random sequences per
+// simulation (destination selection, interarrival times, adaptive-choice tie
+// breaking) and fresh streams at the start of every sampling period. PCG-32
+// (O'Neill, 2014) gives 2^63 independent streams from one seed with a tiny
+// state, which fits that requirement without any external dependency.
+package rng
+
+// Stream is a single PCG-32 pseudo-random stream. The zero value is not
+// usable; create streams with New or NewStream.
+type Stream struct {
+	state uint64
+	inc   uint64
+}
+
+const pcgMultiplier = 6364136223846793005
+
+// New returns a stream seeded with seed on the default stream id 0.
+func New(seed uint64) *Stream { return NewStream(seed, 0) }
+
+// NewStream returns a stream seeded with seed on stream id stream. Streams
+// with different ids are statistically independent even for equal seeds.
+func NewStream(seed, stream uint64) *Stream {
+	s := &Stream{inc: stream<<1 | 1}
+	s.state = s.inc + seed
+	s.Uint32()
+	s.state += seed
+	s.Uint32()
+	return s
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (s *Stream) Uint32() uint32 {
+	old := s.state
+	s.state = old*pcgMultiplier + s.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return xorshifted>>rot | xorshifted<<((-rot)&31)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Stream) Uint64() uint64 {
+	return uint64(s.Uint32())<<32 | uint64(s.Uint32())
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	bound := uint32(n)
+	for {
+		v := s.Uint32()
+		prod := uint64(v) * uint64(bound)
+		low := uint32(prod)
+		if low >= bound || low >= (-bound)%bound {
+			return int(prod >> 32)
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli reports true with probability p.
+func (s *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Geometric returns a sample from the geometric distribution on {1, 2, ...}
+// with success probability p: P(X = t) = p(1-p)^(t-1). This is the
+// distribution of interarrival times of a Bernoulli(p) process, the
+// "geometrically distributed message interarrival times" of the paper.
+// It panics if p <= 0 or p > 1.
+func (s *Stream) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric needs 0 < p <= 1")
+	}
+	if p == 1 {
+		return 1
+	}
+	// Inversion would need math.Log; counting trials is exact, branch-free of
+	// float edge cases, and fast for the small means used here (p >= ~0.003).
+	t := 1
+	for !s.Bernoulli(p) {
+		t++
+	}
+	return t
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Split returns a new independent stream derived from this one. Successive
+// Split calls yield distinct streams; the parent advances so that a later
+// Split gives a different child.
+func (s *Stream) Split() *Stream {
+	return NewStream(s.Uint64(), s.Uint64())
+}

@@ -1,0 +1,62 @@
+package routing
+
+import (
+	"fmt"
+
+	"wormsim/internal/message"
+	"wormsim/internal/topology"
+)
+
+// ECube is the well-known non-adaptive dimension-order routing algorithm: a
+// message fully corrects dimension 0, then dimension 1, and so on. On a
+// torus each ring is made deadlock-free with the Dally–Seitz dateline
+// discipline: two virtual-channel classes per physical channel, class 0
+// until the header crosses the ring's wraparound link, class 1 after. On a
+// mesh a single class suffices.
+type ECube struct{ noAlloc }
+
+// Name returns "ecube".
+func (ECube) Name() string { return "ecube" }
+
+// FullyAdaptive returns false: e-cube admits exactly one path.
+func (ECube) FullyAdaptive() bool { return false }
+
+// NumVCs returns 2 on a torus (dateline classes) and 1 on a mesh.
+func (ECube) NumVCs(g *topology.Grid) int {
+	if g.Wrap() {
+		return 2
+	}
+	return 1
+}
+
+// Compatible always returns nil: e-cube works on any grid.
+func (ECube) Compatible(*topology.Grid) error { return nil }
+
+// Init assigns the congestion class from the single virtual channel the
+// message will use first: its first-hop (dim, dir) pair (class 0 on that
+// channel, since no dateline has been crossed at the source).
+func (ECube) Init(g *topology.Grid, m *message.Message) {
+	for dim := 0; dim < g.N(); dim++ {
+		if dir, ok := m.DirInDim(dim); ok {
+			m.Class = dim<<1 | int(dir)
+			return
+		}
+	}
+}
+
+// Candidates returns the single admissible hop: the lowest uncorrected
+// dimension, in its minimal direction, on the dateline class.
+func (ECube) Candidates(g *topology.Grid, m *message.Message, node int, dst []Candidate) []Candidate {
+	for dim := 0; dim < g.N(); dim++ {
+		dir, ok := m.DirInDim(dim)
+		if !ok {
+			continue
+		}
+		vc := 0
+		if g.Wrap() && m.Crossed[dim] {
+			vc = 1
+		}
+		return append(dst, Candidate{Dim: dim, Dir: dir, VC: vc})
+	}
+	panic(fmt.Sprintf("routing: ecube candidates for arrived %v", m))
+}

@@ -1,0 +1,75 @@
+package routing
+
+import (
+	"testing"
+
+	"wormsim/internal/message"
+	"wormsim/internal/rng"
+	"wormsim/internal/topology"
+)
+
+func TestECubeLanesNumVCs(t *testing.T) {
+	torus := topology.NewTorus(16, 2)
+	mesh := topology.NewMesh(16, 2)
+	if got := (ECubeLanes{Lanes: 2}).NumVCs(torus); got != 4 {
+		t.Errorf("2-lane torus VCs = %d, want 4", got)
+	}
+	if got := (ECubeLanes{Lanes: 4}).NumVCs(torus); got != 8 {
+		t.Errorf("4-lane torus VCs = %d, want 8", got)
+	}
+	if got := (ECubeLanes{Lanes: 2}).NumVCs(mesh); got != 2 {
+		t.Errorf("2-lane mesh VCs = %d, want 2", got)
+	}
+	if (ECubeLanes{Lanes: 0}).Compatible(torus) == nil {
+		t.Error("0 lanes accepted")
+	}
+	if (ECubeLanes{Lanes: 2}).Name() != "ecube2x" {
+		t.Errorf("name %q", ECubeLanes{Lanes: 2}.Name())
+	}
+}
+
+func TestECubeLanesSamePhysicalPathAsECube(t *testing.T) {
+	g := topology.NewTorus(16, 2)
+	r := rng.New(23)
+	e := ECubeLanes{Lanes: 2}
+	for trial := 0; trial < 200; trial++ {
+		src := r.Intn(g.Nodes())
+		dst := r.Intn(g.Nodes())
+		if src == dst {
+			continue
+		}
+		tie := r.Bernoulli(0.5)
+		m := message.New(g, 0, src, dst, 16, 0, func(int) bool { return tie })
+		ref := message.New(g, 0, src, dst, 16, 0, func(int) bool { return tie })
+		cur := src
+		var cands, refCands []Candidate
+		for !m.Arrived() {
+			cands = e.Candidates(g, m, cur, cands[:0])
+			refCands = ECube{}.Candidates(g, ref, cur, refCands[:0])
+			if len(cands) != 2 {
+				t.Fatalf("2 lanes should give 2 candidates, got %v", cands)
+			}
+			// Every lane candidate matches e-cube's single physical hop.
+			for _, c := range cands {
+				if c.Dim != refCands[0].Dim || c.Dir != refCands[0].Dir {
+					t.Fatalf("lane candidate %v leaves the e-cube path %v", c, refCands[0])
+				}
+			}
+			// Lane classes: {2l + cross}.
+			cross := 0
+			if m.Crossed[cands[0].Dim] {
+				cross = 1
+			}
+			if cands[0].VC != cross || cands[1].VC != 2+cross {
+				t.Fatalf("lane classes %v, want {%d,%d}", cands, cross, 2+cross)
+			}
+			c := cands[r.Intn(len(cands))]
+			m.Advance(g, c.Dim, c.Dir, g.Coord(cur, c.Dim), g.Parity(cur))
+			ref.Advance(g, c.Dim, c.Dir, g.Coord(cur, c.Dim), g.Parity(cur))
+			cur = g.Neighbor(cur, c.Dim, c.Dir)
+		}
+		if cur != dst {
+			t.Fatalf("walk ended at %d", cur)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package routing_test
+
+import (
+	"fmt"
+
+	"wormsim/internal/message"
+	"wormsim/internal/routing"
+	"wormsim/internal/topology"
+)
+
+// Example walks the paper's Figure 2 message — (4,4) to (2,2) in a 6-ary
+// 2-cube — under the negative-hop scheme and prints the virtual-channel
+// class offered at each node of the chosen path.
+func Example() {
+	g := topology.NewTorus(6, 2)
+	alg, _ := routing.Get("nhop")
+	m := message.New(g, 0, g.ID([]int{4, 4}), g.ID([]int{2, 2}), 16, 0, nil)
+	alg.Init(g, m)
+
+	path := [][2]int{{4, 4}, {3, 4}, {3, 3}, {2, 3}}
+	for _, at := range path {
+		node := g.ID(at[:])
+		cands := alg.Candidates(g, m, node, nil)
+		// All candidates share one class under nhop; take the first that
+		// matches the next step of Figure 2's path.
+		c := cands[0]
+		fmt.Printf("at (%d,%d): class c%d\n", at[0], at[1], c.VC)
+		// Advance along dimension 0 first, then 1, alternating as in the
+		// figure: pick whichever candidate matches the walked path.
+		var dim int
+		if at[0] != 2 && (at[1] == 4 && at[0] == 4 || at[1] == 3 && at[0] == 3) {
+			dim = 0
+		} else {
+			dim = 1
+		}
+		for _, cc := range cands {
+			if cc.Dim == dim {
+				c = cc
+			}
+		}
+		m.Advance(g, c.Dim, c.Dir, g.Coord(node, c.Dim), g.Parity(node))
+	}
+	// Output:
+	// at (4,4): class c0
+	// at (3,4): class c0
+	// at (3,3): class c1
+	// at (2,3): class c1
+}
+
+func ExampleGet() {
+	alg, _ := routing.Get("phop")
+	g := topology.NewTorus(16, 2)
+	fmt.Println(alg.Name(), "needs", alg.NumVCs(g), "virtual channels; fully adaptive:", alg.FullyAdaptive())
+	// Output:
+	// phop needs 17 virtual channels; fully adaptive: true
+}
+
+func ExampleNames() {
+	fmt.Println(routing.Names())
+	// Output:
+	// [2pn 2pnsrc ecube ecube2x ecube4x nbc negfirst nhop nlast phop wfirst]
+}

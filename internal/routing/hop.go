@@ -1,0 +1,158 @@
+package routing
+
+import (
+	"fmt"
+
+	"wormsim/internal/message"
+	"wormsim/internal/topology"
+)
+
+// The three hop schemes are fully adaptive wormhole algorithms derived from
+// Gopal's store-and-forward buffer-reservation algorithms via the paper's
+// Lemma 1: if the store-and-forward scheme is deadlock-free and the buffer
+// classes a message occupies have monotonically increasing ranks, giving
+// each buffer class its own virtual-channel class yields a deadlock-free
+// wormhole algorithm. Hop schemes route any minimal path and use the hop
+// counters as priority information, which sec. 3.4 identifies as the reason
+// they outperform the purely local 2pn scheme under wormhole switching.
+
+// PositiveHop is the "phop" scheme: a message that has taken i hops reserves
+// a virtual channel of class i, so diameter+1 classes are needed (17 for a
+// 16-ary 2-cube). Classes strictly increase along a route, satisfying
+// Lemma 1 directly.
+type PositiveHop struct{ noAlloc }
+
+// Name returns "phop".
+func (PositiveHop) Name() string { return "phop" }
+
+// FullyAdaptive returns true.
+func (PositiveHop) FullyAdaptive() bool { return true }
+
+// NumVCs returns diameter+1: n*floor(k/2)+1 on a torus.
+func (PositiveHop) NumVCs(g *topology.Grid) int { return g.Diameter() + 1 }
+
+// Compatible always returns nil.
+func (PositiveHop) Compatible(*topology.Grid) error { return nil }
+
+// Init assigns congestion class 0: every message injects on class 0, the
+// virtual-channel number it can use (sec. 3, congestion control).
+func (PositiveHop) Init(g *topology.Grid, m *message.Message) { m.Class = 0 }
+
+// Candidates offers every uncorrected dimension on class HopsTaken.
+func (PositiveHop) Candidates(g *topology.Grid, m *message.Message, node int, dst []Candidate) []Candidate {
+	start := len(dst)
+	dst = uncorrectedDims(g, m, dst)
+	for i := start; i < len(dst); i++ {
+		dst[i].VC = m.HopsTaken
+	}
+	return dst
+}
+
+// NegativeHop is the "nhop" scheme. Nodes are 2-coloured by coordinate
+// parity; a hop out of an odd node is negative. A message that has taken i
+// negative hops reserves a virtual channel of class i, so
+// ceil(diameter/2)+1 classes are needed (9 for a 16-ary 2-cube). Ranks are
+// non-decreasing and the underlying store-and-forward scheme (Gopal) is
+// deadlock-free, so Lemma 1 applies.
+type NegativeHop struct{ noAlloc }
+
+// Name returns "nhop".
+func (NegativeHop) Name() string { return "nhop" }
+
+// FullyAdaptive returns true.
+func (NegativeHop) FullyAdaptive() bool { return true }
+
+// NumVCs returns ceil(diameter/2)+1.
+func (NegativeHop) NumVCs(g *topology.Grid) int { return g.MaxNegativeHops() + 1 }
+
+// Compatible requires a bipartite grid (even k on a torus); the paper notes
+// odd-k designs exist but are involved and leaves them out, as do we.
+func (NegativeHop) Compatible(g *topology.Grid) error {
+	if !g.Bipartite() {
+		return fmt.Errorf("routing: nhop needs a bipartite grid, %v is not (odd-k torus)", g)
+	}
+	return nil
+}
+
+// Init assigns congestion class 0.
+func (NegativeHop) Init(g *topology.Grid, m *message.Message) { m.Class = 0 }
+
+// Candidates offers every uncorrected dimension on class NegHops.
+func (NegativeHop) Candidates(g *topology.Grid, m *message.Message, node int, dst []Candidate) []Candidate {
+	start := len(dst)
+	dst = uncorrectedDims(g, m, dst)
+	for i := start; i < len(dst); i++ {
+		dst[i].VC = m.NegHops
+	}
+	return dst
+}
+
+// BonusCards is the "nbc" scheme: negative hop with bonus cards. At the
+// source a message receives
+//
+//	b = MaxNegativeHops(grid) − negative hops its route will take
+//
+// bonus cards and may start on any class 0..b; afterwards it follows the
+// nhop discipline relative to its start class (class = start + negative hops
+// taken). The wider first-hop choice balances load across virtual-channel
+// classes, which the nhop/phop schemes utilize very unevenly (all messages
+// start on class 0, only diametrically opposite pairs ever reach the top
+// class).
+type BonusCards struct{}
+
+// Name returns "nbc".
+func (BonusCards) Name() string { return "nbc" }
+
+// FullyAdaptive returns true.
+func (BonusCards) FullyAdaptive() bool { return true }
+
+// NumVCs returns ceil(diameter/2)+1, as for nhop.
+func (BonusCards) NumVCs(g *topology.Grid) int { return g.MaxNegativeHops() + 1 }
+
+// Compatible requires a bipartite grid, as for nhop.
+func (BonusCards) Compatible(g *topology.Grid) error {
+	if !g.Bipartite() {
+		return fmt.Errorf("routing: nbc needs a bipartite grid, %v is not (odd-k torus)", g)
+	}
+	return nil
+}
+
+// Bonus returns the number of bonus cards m receives at its source.
+func (BonusCards) Bonus(g *topology.Grid, m *message.Message) int {
+	return g.MaxNegativeHops() - m.NegHopsNeeded(g.Parity(m.Src))
+}
+
+// Init assigns the congestion class from the virtual-channel numbers the
+// message can use, i.e. its bonus-card count.
+func (b BonusCards) Init(g *topology.Grid, m *message.Message) { m.Class = b.Bonus(g, m) }
+
+// Candidates offers, on the first hop, every uncorrected dimension on every
+// class 0..bonus; afterwards the nhop rule shifted by the latched start
+// class.
+func (b BonusCards) Candidates(g *topology.Grid, m *message.Message, node int, dst []Candidate) []Candidate {
+	if m.HopsTaken == 0 {
+		bonus := b.Bonus(g, m)
+		for vc := 0; vc <= bonus; vc++ {
+			start := len(dst)
+			dst = uncorrectedDims(g, m, dst)
+			for i := start; i < len(dst); i++ {
+				dst[i].VC = vc
+			}
+		}
+		return dst
+	}
+	start := len(dst)
+	dst = uncorrectedDims(g, m, dst)
+	for i := start; i < len(dst); i++ {
+		dst[i].VC = m.BonusStart + m.NegHops
+	}
+	return dst
+}
+
+// Allocated latches the class chosen for the first hop as the message's
+// start class.
+func (BonusCards) Allocated(g *topology.Grid, m *message.Message, node int, c Candidate) {
+	if m.HopsTaken == 0 {
+		m.BonusStart = c.VC
+	}
+}

@@ -1,0 +1,107 @@
+package routing
+
+import (
+	"fmt"
+
+	"wormsim/internal/message"
+	"wormsim/internal/topology"
+)
+
+// NorthLast is Glass & Ni's partially adaptive turn-model algorithm. In the
+// paper's formulation for two-dimensional networks: if the destination index
+// is less than the source index in dimension 1 (the message must travel
+// "north", taken here as the Minus direction of the highest dimension), the
+// message corrects dimension 0 completely first and then takes its north
+// hops with no adaptivity; otherwise it is routed fully adaptively among the
+// minimal directions. The two prohibited turns are north-to-east and
+// north-to-west.
+//
+// North-last is inherently two-dimensional: the turn-model proof relies on
+// every dimension but "north" being totally ordered by the restriction, and
+// with three or more dimensions the mutually unrestricted dimensions form
+// rectangle cycles (the cdg analyzer exhibits one on a 4-ary 3-cube), so
+// Compatible rejects n != 2. Use NegativeFirst for higher dimensions.
+//
+// Virtual channels on a torus: the paper leaves the nlast channel
+// discipline unspecified. Per-dimension dateline classes (as used for
+// e-cube) are NOT sufficient here: because southbound messages may turn
+// freely between dimensions, "spiral" channel cycles exist that wrap both
+// rings while every participating message crosses at most one dateline, so
+// a cycle can close entirely within class 0. Instead the class of a hop is
+// the number of wraparound (dateline) crossings the message has completed
+// in any dimension. A minimal route crosses at most one wraparound per
+// dimension, so n+1 classes suffice. Any deadlock cycle would have to stay
+// within one class (classes only increase along a route, and a wraparound
+// channel's holder in class c requests class c+1 next), and a single-class
+// cycle contains no wraparound channel, reducing it to a mesh cycle that
+// the turn restriction forbids. Deadlock freedom is additionally checked
+// empirically by the drain stress tests.
+type NorthLast struct{ noAlloc }
+
+// Name returns "nlast".
+func (NorthLast) Name() string { return "nlast" }
+
+// FullyAdaptive returns false: north-bound messages lose all adaptivity.
+func (NorthLast) FullyAdaptive() bool { return false }
+
+// NumVCs returns n+1 on a torus (wrap-count classes) and 1 on a mesh.
+func (NorthLast) NumVCs(g *topology.Grid) int {
+	if g.Wrap() {
+		return g.N() + 1
+	}
+	return 1
+}
+
+// Compatible requires a two-dimensional grid (see the type comment).
+func (NorthLast) Compatible(g *topology.Grid) error {
+	if g.N() != 2 {
+		return fmt.Errorf("routing: nlast is a two-dimensional turn-model algorithm, %v has n=%d (use negfirst)", g, g.N())
+	}
+	return nil
+}
+
+// Init assigns the congestion class from the first virtual channel the
+// message intends to use: its first candidate's (dim, dir) pair.
+func (NorthLast) Init(g *topology.Grid, m *message.Message) {
+	var buf [8]Candidate
+	cands := NorthLast{}.Candidates(g, m, m.Src, buf[:0])
+	m.Class = cands[0].Dim<<1 | int(cands[0].Dir)
+}
+
+// wrapCount returns the number of dateline crossings completed so far.
+func wrapCount(m *message.Message) int {
+	c := 0
+	for _, crossed := range m.Crossed {
+		if crossed {
+			c++
+		}
+	}
+	return c
+}
+
+// Candidates returns the admissible hops under the north-last restriction.
+func (NorthLast) Candidates(g *topology.Grid, m *message.Message, node int, dst []Candidate) []Candidate {
+	last := g.N() - 1
+	goingNorth := m.Remaining[last] < 0
+	vc := 0
+	if g.Wrap() {
+		vc = wrapCount(m)
+	}
+	start := len(dst)
+	for dim := 0; dim < g.N(); dim++ {
+		dir, ok := m.DirInDim(dim)
+		if !ok {
+			continue
+		}
+		if goingNorth && dim == last && m.HopsLeft() != -m.Remaining[last] {
+			// North hops are deferred until every other dimension is
+			// corrected.
+			continue
+		}
+		dst = append(dst, Candidate{Dim: dim, Dir: dir, VC: vc})
+	}
+	if len(dst) == start {
+		panic(fmt.Sprintf("routing: nlast produced no candidates for %v", m))
+	}
+	return dst
+}

@@ -1,0 +1,138 @@
+package routing
+
+import (
+	"fmt"
+
+	"wormsim/internal/message"
+	"wormsim/internal/topology"
+)
+
+// This file holds the other members of Glass & Ni's turn-model family the
+// paper references (sec. 2.3 notes north-last is "a member of many
+// partially-adaptive algorithms proposed by Glass and Ni"): west-first and
+// negative-first. They are extensions beyond the paper's six algorithms,
+// useful for the X-TRANS experiment and for comparing turn restrictions.
+// On tori both use the same wrap-count virtual-channel classes as
+// NorthLast, for the same reason (see that type's comment).
+
+// WestFirst routes all West hops (Minus in dimension 0) first and
+// non-adaptively; afterwards the message is fully adaptive among the
+// remaining minimal directions, none of which is West. The prohibited
+// turns are the ones into West. Like north-last it is inherently
+// two-dimensional (with n >= 3 the unrestricted dimensions form rectangle
+// cycles — the cdg analyzer exhibits one), so Compatible rejects n != 2;
+// NegativeFirst is the n-dimensional member of the family.
+type WestFirst struct{ noAlloc }
+
+func init() {
+	register(WestFirst{})
+	register(NegativeFirst{})
+}
+
+// Name returns "wfirst".
+func (WestFirst) Name() string { return "wfirst" }
+
+// FullyAdaptive returns false.
+func (WestFirst) FullyAdaptive() bool { return false }
+
+// NumVCs returns n+1 on a torus (wrap-count classes) and 1 on a mesh.
+func (WestFirst) NumVCs(g *topology.Grid) int {
+	if g.Wrap() {
+		return g.N() + 1
+	}
+	return 1
+}
+
+// Compatible requires a two-dimensional grid (see the type comment).
+func (WestFirst) Compatible(g *topology.Grid) error {
+	if g.N() != 2 {
+		return fmt.Errorf("routing: wfirst is a two-dimensional turn-model algorithm, %v has n=%d (use negfirst)", g, g.N())
+	}
+	return nil
+}
+
+// Init assigns the congestion class from the first candidate's channel.
+func (WestFirst) Init(g *topology.Grid, m *message.Message) {
+	var buf [8]Candidate
+	cands := WestFirst{}.Candidates(g, m, m.Src, buf[:0])
+	m.Class = cands[0].Dim<<1 | int(cands[0].Dir)
+}
+
+// Candidates returns the single West hop while any West hops remain, then
+// every uncorrected dimension.
+func (WestFirst) Candidates(g *topology.Grid, m *message.Message, node int, dst []Candidate) []Candidate {
+	vc := 0
+	if g.Wrap() {
+		vc = wrapCount(m)
+	}
+	if m.Remaining[0] < 0 {
+		return append(dst, Candidate{Dim: 0, Dir: topology.Minus, VC: vc})
+	}
+	start := len(dst)
+	for dim := 0; dim < g.N(); dim++ {
+		if dir, ok := m.DirInDim(dim); ok {
+			dst = append(dst, Candidate{Dim: dim, Dir: dir, VC: vc})
+		}
+	}
+	if len(dst) == start {
+		panic(fmt.Sprintf("routing: wfirst produced no candidates for %v", m))
+	}
+	return dst
+}
+
+// NegativeFirst routes all Minus-direction hops before any Plus-direction
+// hop: while negative hops remain the message is adaptive among the
+// negative dimensions only, afterwards among the positive ones. The
+// prohibited turns are the ones from a positive to a negative direction.
+type NegativeFirst struct{ noAlloc }
+
+// Name returns "negfirst".
+func (NegativeFirst) Name() string { return "negfirst" }
+
+// FullyAdaptive returns false.
+func (NegativeFirst) FullyAdaptive() bool { return false }
+
+// NumVCs returns n+1 on a torus and 1 on a mesh.
+func (NegativeFirst) NumVCs(g *topology.Grid) int {
+	if g.Wrap() {
+		return g.N() + 1
+	}
+	return 1
+}
+
+// Compatible always returns nil.
+func (NegativeFirst) Compatible(*topology.Grid) error { return nil }
+
+// Init assigns the congestion class from the first candidate's channel.
+func (NegativeFirst) Init(g *topology.Grid, m *message.Message) {
+	var buf [8]Candidate
+	cands := NegativeFirst{}.Candidates(g, m, m.Src, buf[:0])
+	m.Class = cands[0].Dim<<1 | int(cands[0].Dir)
+}
+
+// Candidates returns the negative-direction dimensions while any remain,
+// then the positive ones.
+func (NegativeFirst) Candidates(g *topology.Grid, m *message.Message, node int, dst []Candidate) []Candidate {
+	vc := 0
+	if g.Wrap() {
+		vc = wrapCount(m)
+	}
+	start := len(dst)
+	for dim := 0; dim < g.N(); dim++ {
+		if m.Remaining[dim] < 0 {
+			dst = append(dst, Candidate{Dim: dim, Dir: topology.Minus, VC: vc})
+		}
+	}
+	if len(dst) > start {
+		return dst
+	}
+	for dim := 0; dim < g.N(); dim++ {
+		if m.Remaining[dim] > 0 {
+			dst = append(dst, Candidate{Dim: dim, Dir: topology.Plus, VC: vc})
+		}
+	}
+	if len(dst) == start {
+		panic(fmt.Sprintf("routing: negfirst produced no candidates for %v", m))
+	}
+	return dst
+}

@@ -1,0 +1,64 @@
+package routing
+
+import (
+	"wormsim/internal/message"
+	"wormsim/internal/topology"
+)
+
+// TwoPowerNSource is the literal reading of the paper's eq. (1): the n-bit
+// tag is computed once at the source from s and d and kept for the whole
+// journey (free bits where s_i = d_i).
+//
+// WARNING: on a torus this discipline is NOT deadlock-free. All messages
+// travelling around a ring in one direction can share a single tag class,
+// so the channel-dependency graph contains ring cycles that no class switch
+// breaks, and the network wedges under moderate load. The variant exists to
+// test the reproduction hypothesis that the paper's anomalous 2pn result —
+// a fully adaptive algorithm losing to plain e-cube under wormhole
+// switching but matching nbc under virtual cut-through — is what a
+// source-fixed tag produces: wormhole worms lock up in those cycles, while
+// cut-through packets park in buffers and rarely complete one. Use
+// TwoPowerN (per-hop tag) for the sound algorithm. On meshes both variants
+// are deadlock-free.
+type TwoPowerNSource struct{ noAlloc }
+
+func init() { register(TwoPowerNSource{}) }
+
+// Name returns "2pnsrc".
+func (TwoPowerNSource) Name() string { return "2pnsrc" }
+
+// FullyAdaptive returns true.
+func (TwoPowerNSource) FullyAdaptive() bool { return true }
+
+// NumVCs returns 2^n on a torus and 2^(n-1) on a mesh, as for TwoPowerN.
+func (TwoPowerNSource) NumVCs(g *topology.Grid) int { return TwoPowerN{}.NumVCs(g) }
+
+// Compatible always returns nil (see the type comment for the torus
+// caveat; the simulator's watchdog reports the resulting deadlocks).
+func (TwoPowerNSource) Compatible(*topology.Grid) error { return nil }
+
+// Init computes and stores the source tag and uses its forced bits as the
+// congestion class.
+func (TwoPowerNSource) Init(g *topology.Grid, m *message.Message) {
+	m.TagForced, m.TagFree = tagBits(g, m, m.Src)
+	m.Class = m.TagForced
+}
+
+// Candidates offers every uncorrected dimension on every tag consistent
+// with the source-computed bits.
+func (TwoPowerNSource) Candidates(g *topology.Grid, m *message.Message, node int, dst []Candidate) []Candidate {
+	sub := 0
+	for {
+		tag := m.TagForced | sub
+		for dim := 0; dim < g.N(); dim++ {
+			if dir, ok := m.DirInDim(dim); ok {
+				dst = append(dst, Candidate{Dim: dim, Dir: dir, VC: tag})
+			}
+		}
+		if sub == m.TagFree {
+			break
+		}
+		sub = (sub - m.TagFree) & m.TagFree
+	}
+	return dst
+}

@@ -1,0 +1,158 @@
+package saf
+
+import (
+	"testing"
+
+	"wormsim/internal/message"
+	"wormsim/internal/routing"
+	"wormsim/internal/topology"
+	"wormsim/internal/traffic"
+)
+
+// TestChannelSerialization: two packets crossing the same link serialize —
+// the second waits a full transmission time behind the first.
+func TestChannelSerialization(t *testing.T) {
+	g := topology.NewTorus(16, 2)
+	alg, _ := routing.Get("phop")
+	// Both packets need the +x channel out of (0,0).
+	wl := traffic.NewTrace(g, "pair",
+		[]int64{0, 0},
+		[]traffic.Arrival{
+			{Src: g.ID([]int{0, 0}), Dst: g.ID([]int{1, 0})},
+			{Src: g.ID([]int{0, 0}), Dst: g.ID([]int{1, 0})},
+		})
+	var lats []int64
+	n, err := New(Config{
+		Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, BuffersPerClass: 2, Seed: 1,
+		OnDeliver: func(m *message.Message) { lats = append(lats, m.Latency()) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Drain(10000); err != nil {
+		t.Fatal(err)
+	}
+	if len(lats) != 2 {
+		t.Fatalf("delivered %d", len(lats))
+	}
+	if lats[0] != 16 {
+		t.Errorf("first packet latency %d, want 16", lats[0])
+	}
+	if lats[1] != 32 {
+		t.Errorf("second packet latency %d, want 32 (one transmission behind)", lats[1])
+	}
+}
+
+// TestBufferScarcitySerializes: with one buffer per class, a packet cannot
+// advance until the predecessor vacates the class buffer ahead, which
+// spreads a convoy out.
+func TestBufferScarcitySerializes(t *testing.T) {
+	g := topology.NewTorus(16, 2)
+	alg, _ := routing.Get("phop")
+	mk := func(bufs int) int64 {
+		// A convoy of 4 packets down the same 4-hop row.
+		var cycles []int64
+		var arrs []traffic.Arrival
+		for i := 0; i < 4; i++ {
+			cycles = append(cycles, 0)
+			arrs = append(arrs, traffic.Arrival{Src: g.ID([]int{0, 0}), Dst: g.ID([]int{4, 0})})
+		}
+		wl := traffic.NewTrace(g, "convoy", cycles, arrs)
+		var last int64
+		n, err := New(Config{
+			Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, BuffersPerClass: bufs, Seed: 1,
+			OnDeliver: func(m *message.Message) {
+				if m.DeliverTime > last {
+					last = m.DeliverTime
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Drain(100000); err != nil {
+			t.Fatal(err)
+		}
+		return last
+	}
+	scarce := mk(1)
+	plentiful := mk(4)
+	if plentiful > scarce {
+		t.Errorf("more buffers should not slow the convoy: %d vs %d", plentiful, scarce)
+	}
+	// The channel is the hard bottleneck: 4 packets x 16 flits over the
+	// first link = 64 cycles minimum before the last packet's final hop.
+	if scarce < 64+16*3 {
+		t.Errorf("convoy makespan %d implausibly fast", scarce)
+	}
+}
+
+// TestNbcStartClassChoice: under store-and-forward, nbc still spreads
+// launches across buffer classes (the bonus cards apply to the source
+// buffer choice).
+func TestNbcStartClassChoice(t *testing.T) {
+	g := topology.NewTorus(16, 2)
+	alg, _ := routing.Get("nbc")
+	wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.01, 5)
+	seen := map[int]bool{}
+	n, err := New(Config{Grid: g, Algorithm: alg, Workload: wl, MsgLen: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := n.Step(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range n.waiting {
+			if p.msg.HopsTaken == 0 {
+				seen[p.class] = true
+			}
+		}
+	}
+	if len(seen) < 3 {
+		t.Errorf("nbc launches used only classes %v; expected a bonus-card spread", seen)
+	}
+}
+
+// TestSafDeterminism: identical seeds give identical histories.
+func TestSafDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		g := topology.NewTorus(8, 2)
+		alg, _ := routing.Get("nhop")
+		wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.01, 7)
+		n, _ := New(Config{Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, Seed: 7})
+		if err := n.Run(3000); err != nil {
+			t.Fatal(err)
+		}
+		_, _, _, del := n.Counts()
+		return n.FlitMoves(), del
+	}
+	f1, d1 := run()
+	f2, d2 := run()
+	if f1 != f2 || d1 != d2 {
+		t.Errorf("same seed diverged: %d/%d vs %d/%d", f1, d1, f2, d2)
+	}
+}
+
+// TestSafHigherLoadMoreFlits: sanity that load scales the work.
+func TestSafHigherLoadMoreFlits(t *testing.T) {
+	run := func(rate float64) int64 {
+		g := topology.NewTorus(8, 2)
+		alg, _ := routing.Get("phop")
+		wl := traffic.NewBernoulli(g, traffic.NewUniform(g), rate, 7)
+		n, _ := New(Config{Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, Seed: 7})
+		if err := n.Run(3000); err != nil {
+			t.Fatal(err)
+		}
+		return n.FlitMoves()
+	}
+	if lo, hi := run(0.002), run(0.008); hi <= lo {
+		t.Errorf("4x the load moved %d <= %d flits", hi, lo)
+	}
+}

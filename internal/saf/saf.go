@@ -1,0 +1,413 @@
+// Package saf is the store-and-forward substrate the paper's hop schemes
+// are derived from (sec. 2.1): a packet-level simulator in which whole
+// messages hop between per-node buffers partitioned into ranked classes
+// (Gopal's buffer-reservation technique). It exists to validate the
+// saf -> wormhole derivation of Lemma 1 — the buffer classes a message
+// occupies must have monotonically increasing ranks — and to contrast
+// packet and wormhole switching as sec. 3.4 does.
+//
+// A message occupies exactly one buffer; to advance it reserves a free
+// buffer of the required class at the next node and a free outgoing
+// physical channel, then transmits for MsgLen cycles (one flit per cycle)
+// holding both buffers; on completion the upstream buffer and channel are
+// released. Delivery consumes the packet immediately.
+package saf
+
+import (
+	"fmt"
+
+	"wormsim/internal/congestion"
+	"wormsim/internal/message"
+	"wormsim/internal/rng"
+	"wormsim/internal/routing"
+	"wormsim/internal/topology"
+	"wormsim/internal/traffic"
+)
+
+// Config describes one store-and-forward simulation.
+type Config struct {
+	Grid      *topology.Grid
+	Algorithm routing.Algorithm
+	Policy    routing.SelectionPolicy
+	Workload  traffic.Workload
+	// MsgLen is the packet length in flits; a hop's transmission occupies
+	// the channel for MsgLen cycles.
+	MsgLen int
+	// BuffersPerClass is the number of buffers of each class at every node
+	// (default 1, the scarcest configuration).
+	BuffersPerClass int
+	// CCLimit enables the injection-side congestion control as in the
+	// wormhole simulator (0 disables).
+	CCLimit        int
+	Seed           uint64
+	WatchdogCycles int64
+	OnDeliver      func(*message.Message)
+}
+
+// packet is a message plus its store-and-forward position.
+type packet struct {
+	msg *message.Message
+	// node is where the packet (or its receiving buffer) is; class is the
+	// buffer class it occupies there.
+	node  int
+	class int
+	// arriving is nonzero while the packet is being transmitted into node;
+	// it is the cycle the transmission completes. The upstream buffer
+	// (prevNode/prevClass) and channel (prevCh) are held until then.
+	arriving  int64
+	prevNode  int
+	prevClass int
+	// leavingSource marks the in-progress hop as the packet's first, so the
+	// congestion slot is released when it completes.
+	leavingSource bool
+}
+
+// Network is a running store-and-forward simulation.
+type Network struct {
+	cfg     Config
+	g       *topology.Grid
+	alg     routing.Algorithm
+	policy  routing.SelectionPolicy
+	wl      traffic.Workload
+	classes int
+	limiter *congestion.Limiter
+	rt      *rng.Stream
+
+	now        int64
+	nextMsgID  int64
+	inFlight   int
+	lastMotion int64
+
+	// free[node*classes+class] counts free buffers.
+	free []int
+	// chBusyUntil[ch] is the cycle the channel becomes free.
+	chBusyUntil []int64
+	// waiting packets are settled in a buffer and trying to advance, FIFO.
+	waiting []*packet
+	// moving packets are mid-transmission.
+	moving []*packet
+	// queue holds admitted messages waiting for a source buffer.
+	queue [][]*message.Message
+
+	arrivals   []traffic.Arrival
+	cands      []routing.Candidate
+	cands2     []routing.Candidate
+	freeCands  []routing.Candidate
+	freeScores []int
+
+	// Window counters.
+	cycles    int64
+	flitMoves int64
+	generated int64
+	admitted  int64
+	dropped   int64
+	delivered int64
+}
+
+// New validates cfg and builds the network.
+func New(cfg Config) (*Network, error) {
+	if cfg.Grid == nil || cfg.Algorithm == nil || cfg.Workload == nil {
+		return nil, fmt.Errorf("saf: Grid, Algorithm and Workload are required")
+	}
+	switch cfg.Algorithm.(type) {
+	case routing.PositiveHop, routing.NegativeHop, routing.BonusCards:
+		// Gopal's hop schemes: buffer ranks increase strictly along every
+		// route, which is what makes buffer reservation deadlock-free.
+	default:
+		// Channel-oriented disciplines (dateline or tag classes) are NOT
+		// safe under store-and-forward: node buffers are shared by both
+		// directions and all dimensions, so two head-on packets can each
+		// hold the single buffer the other needs. Only the wormhole engine
+		// runs those algorithms.
+		return nil, fmt.Errorf("saf: algorithm %s has no deadlock-free buffer-reservation form; use phop, nhop or nbc", cfg.Algorithm.Name())
+	}
+	if err := cfg.Algorithm.Compatible(cfg.Grid); err != nil {
+		return nil, err
+	}
+	if cfg.MsgLen <= 0 {
+		cfg.MsgLen = 16
+	}
+	if cfg.BuffersPerClass <= 0 {
+		cfg.BuffersPerClass = 1
+	}
+	if cfg.WatchdogCycles == 0 {
+		cfg.WatchdogCycles = 50000
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = routing.RandomPolicy{}
+	}
+	g := cfg.Grid
+	n := &Network{
+		cfg:     cfg,
+		g:       g,
+		alg:     cfg.Algorithm,
+		policy:  cfg.Policy,
+		wl:      cfg.Workload,
+		classes: cfg.Algorithm.NumVCs(g),
+		limiter: congestion.NewLimiter(g.Nodes(), cfg.CCLimit),
+		rt:      rng.NewStream(cfg.Seed, 0x5af5),
+	}
+	n.free = make([]int, g.Nodes()*n.classes)
+	for i := range n.free {
+		n.free[i] = cfg.BuffersPerClass
+	}
+	n.chBusyUntil = make([]int64, g.ChannelSlots())
+	n.queue = make([][]*message.Message, g.Nodes())
+	return n, nil
+}
+
+// Now returns the current cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// Grid returns the topology.
+func (n *Network) Grid() *topology.Grid { return n.g }
+
+// FlitMoves returns the cumulative flit transfers across physical channels.
+func (n *Network) FlitMoves() int64 { return n.flitMoves }
+
+// InFlight returns admitted-but-undelivered messages.
+func (n *Network) InFlight() int { return n.inFlight }
+
+// Utilization returns flit moves per cycle per channel for the whole run.
+func (n *Network) Utilization() float64 {
+	if n.cycles == 0 {
+		return 0
+	}
+	return float64(n.flitMoves) / (float64(n.cycles) * float64(n.g.NumChannels()))
+}
+
+// Counts returns generated/admitted/dropped/delivered totals.
+func (n *Network) Counts() (generated, admitted, dropped, delivered int64) {
+	return n.generated, n.admitted, n.dropped, n.delivered
+}
+
+// Step advances one cycle.
+func (n *Network) Step() error {
+	n.completeTransmissions()
+	n.inject()
+	n.launch()
+	n.advance()
+	n.now++
+	n.cycles++
+	if n.cfg.WatchdogCycles > 0 && n.inFlight > 0 && n.now-n.lastMotion > n.cfg.WatchdogCycles {
+		return fmt.Errorf("saf: no progress for %d cycles with %d packets in flight (possible deadlock)",
+			n.now-n.lastMotion, n.inFlight)
+	}
+	return nil
+}
+
+// Run advances the given number of cycles.
+func (n *Network) Run(cycles int64) error {
+	for i := int64(0); i < cycles; i++ {
+		if err := n.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain runs until empty or maxCycles pass.
+func (n *Network) Drain(maxCycles int64) error {
+	for i := int64(0); i < maxCycles; i++ {
+		if n.inFlight == 0 {
+			return nil
+		}
+		if err := n.Step(); err != nil {
+			return err
+		}
+	}
+	if n.inFlight > 0 {
+		return fmt.Errorf("saf: %d packets still in flight after %d drain cycles", n.inFlight, maxCycles)
+	}
+	return nil
+}
+
+// completeTransmissions settles packets whose hop transmission finished:
+// release the upstream buffer and either deliver or join the waiting list.
+func (n *Network) completeTransmissions() {
+	kept := n.moving[:0]
+	for _, p := range n.moving {
+		if p.arriving > n.now {
+			kept = append(kept, p)
+			continue
+		}
+		n.lastMotion = n.now
+		n.free[p.prevNode*n.classes+p.prevClass]++
+		if p.leavingSource {
+			// The packet has fully left its source: release the congestion
+			// slot.
+			n.limiter.Release(p.msg.Src, p.msg.Class)
+			p.leavingSource = false
+		}
+		if p.node == p.msg.Dst {
+			// Consume instantly; the delivery buffer was never reserved
+			// (the destination's consumption queue is outside the network).
+			p.msg.DeliverTime = n.now
+			n.inFlight--
+			n.delivered++
+			if n.cfg.OnDeliver != nil {
+				n.cfg.OnDeliver(p.msg)
+			}
+			continue
+		}
+		p.arriving = 0
+		n.waiting = append(n.waiting, p)
+	}
+	n.moving = kept
+}
+
+// inject admits new arrivals into the per-source queues.
+func (n *Network) inject() {
+	n.arrivals = n.wl.Arrivals(n.now, n.arrivals[:0])
+	for _, a := range n.arrivals {
+		n.generated++
+		m := message.New(n.g, n.nextMsgID, a.Src, a.Dst, n.cfg.MsgLen, n.now, func(int) bool { return n.rt.Bernoulli(0.5) })
+		n.nextMsgID++
+		n.alg.Init(n.g, m)
+		if !n.limiter.Admit(a.Src, m.Class) {
+			n.dropped++
+			continue
+		}
+		n.admitted++
+		n.inFlight++
+		n.queue[a.Src] = append(n.queue[a.Src], m)
+	}
+}
+
+// launch moves queued messages into source buffers. The source buffer class
+// is whatever the algorithm's first-hop candidates specify (class 0 for
+// phop/nhop, any class up to the bonus for nbc, the dateline class for
+// e-cube) — a queued message launches as soon as one such buffer is free.
+func (n *Network) launch() {
+	for src := range n.queue {
+		q := n.queue[src]
+		kept := q[:0]
+		for _, m := range q {
+			if p := n.tryLaunch(src, m); p != nil {
+				n.waiting = append(n.waiting, p)
+				n.lastMotion = n.now
+			} else {
+				kept = append(kept, m)
+			}
+		}
+		n.queue[src] = kept
+	}
+}
+
+// tryLaunch reserves a source buffer for m, returning the settled packet or
+// nil.
+func (n *Network) tryLaunch(src int, m *message.Message) *packet {
+	n.cands = n.alg.Candidates(n.g, m, src, n.cands[:0])
+	n.freeCands = n.freeCands[:0]
+	n.freeScores = n.freeScores[:0]
+	seen := make(map[int]bool, 4)
+	for _, c := range n.cands {
+		if seen[c.VC] || n.free[src*n.classes+c.VC] == 0 {
+			continue
+		}
+		seen[c.VC] = true
+		n.freeCands = append(n.freeCands, c)
+		n.freeScores = append(n.freeScores, -n.free[src*n.classes+c.VC])
+	}
+	if len(n.freeCands) == 0 {
+		return nil
+	}
+	pick := n.freeCands[n.policy.Select(n.freeCands, n.freeScores, n.rt)]
+	n.alg.Allocated(n.g, m, src, pick)
+	n.free[src*n.classes+pick.VC]--
+	return &packet{msg: m, node: src, class: pick.VC}
+}
+
+// advance lets settled packets reserve their next hop, FIFO over the waiting
+// list (the paper's starvation-avoidance rule).
+func (n *Network) advance() {
+	kept := n.waiting[:0]
+	for _, p := range n.waiting {
+		if n.tryHop(p) {
+			n.lastMotion = n.now
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	n.waiting = kept
+}
+
+// tryHop reserves the next channel and downstream buffer for p and starts
+// the transmission. The downstream buffer class is read off the algorithm's
+// candidates at the downstream node after a trial advance of the routing
+// state (the saf <-> wormhole correspondence: the class used for a hop from
+// x is the class of the buffer occupied at x).
+func (n *Network) tryHop(p *packet) bool {
+	m := p.msg
+	n.cands = n.alg.Candidates(n.g, m, p.node, n.cands[:0])
+	n.freeCands = n.freeCands[:0]
+	n.freeScores = n.freeScores[:0]
+	for _, c := range n.cands {
+		if c.VC != p.class {
+			// Lemma 1's correspondence: the hop out of this node must use
+			// the class of the buffer held here. (Only nbc's first hop
+			// offers several classes, and that choice was made at launch.)
+			continue
+		}
+		ch := n.g.ChannelIndex(p.node, c.Dim, c.Dir)
+		if !n.g.HasChannel(p.node, c.Dim, c.Dir) || n.chBusyUntil[ch] > n.now {
+			continue
+		}
+		next := n.g.Neighbor(p.node, c.Dim, c.Dir)
+		nextClass := n.nextClass(p, c)
+		if next != m.Dst && n.free[next*n.classes+nextClass] == 0 {
+			continue
+		}
+		n.freeCands = append(n.freeCands, c)
+		n.freeScores = append(n.freeScores, 0)
+	}
+	if len(n.freeCands) == 0 {
+		return false
+	}
+	c := n.freeCands[n.policy.Select(n.freeCands, n.freeScores, n.rt)]
+	ch := n.g.ChannelIndex(p.node, c.Dim, c.Dir)
+	next := n.g.Neighbor(p.node, c.Dim, c.Dir)
+	nextClass := n.nextClass(p, c)
+	// Reserve: channel for MsgLen cycles, downstream buffer (unless this is
+	// the delivery hop, where the packet is consumed on arrival but we model
+	// the receiving buffer as reserved during transmission).
+	n.chBusyUntil[ch] = n.now + int64(n.cfg.MsgLen)
+	if next != m.Dst {
+		n.free[next*n.classes+nextClass]--
+	}
+	n.flitMoves += int64(n.cfg.MsgLen)
+	m.Advance(n.g, c.Dim, c.Dir, n.g.Coord(p.node, c.Dim), n.g.Parity(p.node))
+	p.prevNode, p.prevClass = p.node, p.class
+	p.leavingSource = m.HopsTaken == 1
+	p.node, p.class = next, nextClass
+	p.arriving = n.now + int64(n.cfg.MsgLen)
+	n.moving = append(n.moving, p)
+	return true
+}
+
+// nextClass computes the buffer class the packet will occupy after taking
+// candidate c: the class its next hop would use, which by the saf/wormhole
+// correspondence is the arrival buffer's class. It is computed exactly by a
+// trial advance of the routing state followed by a restore, so every
+// algorithm's own Candidates logic defines it. For algorithms that offer
+// several classes at the next node (2pn's corrected-dimension free bits),
+// the first candidate's class is used.
+func (n *Network) nextClass(p *packet, c routing.Candidate) int {
+	m := p.msg
+	next := n.g.Neighbor(p.node, c.Dim, c.Dir)
+	if next == m.Dst {
+		return 0 // consumed on arrival; no buffer class needed
+	}
+	prevRem := m.Remaining[c.Dim]
+	prevHops := m.HopsTaken
+	prevNeg := m.NegHops
+	prevCross := m.Crossed[c.Dim]
+	m.Advance(n.g, c.Dim, c.Dir, n.g.Coord(p.node, c.Dim), n.g.Parity(p.node))
+	n.cands2 = n.alg.Candidates(n.g, m, next, n.cands2[:0])
+	class := n.cands2[0].VC
+	m.Remaining[c.Dim] = prevRem
+	m.HopsTaken = prevHops
+	m.NegHops = prevNeg
+	m.Crossed[c.Dim] = prevCross
+	return class
+}

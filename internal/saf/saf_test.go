@@ -1,0 +1,235 @@
+package saf
+
+import (
+	"testing"
+
+	"wormsim/internal/message"
+	"wormsim/internal/routing"
+	"wormsim/internal/topology"
+	"wormsim/internal/traffic"
+)
+
+func oneShot(t *testing.T, g *topology.Grid, algName string, src, dst, msgLen int) *message.Message {
+	t.Helper()
+	alg, err := routing.Get(algName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := traffic.NewTrace(g, "one", []int64{0}, []traffic.Arrival{{Src: src, Dst: dst}})
+	var delivered *message.Message
+	n, err := New(Config{
+		Grid: g, Algorithm: alg, Workload: wl, MsgLen: msgLen, Seed: 1,
+		OnDeliver: func(m *message.Message) { delivered = m },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Drain(100000); err != nil {
+		t.Fatalf("%s: %v", algName, err)
+	}
+	if delivered == nil {
+		t.Fatalf("%s: message not delivered", algName)
+	}
+	return delivered
+}
+
+// TestUnloadedLatencyIsHopsTimesLength: store-and-forward latency without
+// queueing is d * ml cycles — the whole packet is retransmitted at every
+// hop, the contrast with wormhole's d + ml - 1 that motivates wormhole
+// switching in the first place.
+func TestUnloadedLatencyIsHopsTimesLength(t *testing.T) {
+	g := topology.NewTorus(16, 2)
+	for _, algName := range []string{"phop", "nhop", "nbc"} {
+		for _, tc := range []struct {
+			src, dst [2]int
+		}{
+			{[2]int{0, 0}, [2]int{3, 0}},
+			{[2]int{4, 4}, [2]int{2, 2}},
+			{[2]int{14, 1}, [2]int{2, 1}},
+		} {
+			src := g.ID(tc.src[:])
+			dst := g.ID(tc.dst[:])
+			m := oneShot(t, g, algName, src, dst, 16)
+			want := int64(g.Distance(src, dst) * 16)
+			if m.Latency() != want {
+				t.Errorf("%s %v->%v: latency %d, want %d", algName, tc.src, tc.dst, m.Latency(), want)
+			}
+		}
+	}
+}
+
+func TestSafSlowerThanWormholeUnloaded(t *testing.T) {
+	g := topology.NewTorus(16, 2)
+	m := oneShot(t, g, "phop", 0, g.ID([]int{5, 3}), 16)
+	// 8 hops: saf 128 cycles vs wormhole 8+15 = 23.
+	if m.Latency() != 128 {
+		t.Errorf("saf latency %d, want 128", m.Latency())
+	}
+}
+
+func TestConservationAfterDrain(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	for _, algName := range []string{"phop", "nhop", "nbc"} {
+		alg, _ := routing.Get(algName)
+		wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.005, 5)
+		var hopFlits int64
+		n, err := New(Config{
+			Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, Seed: 5,
+			OnDeliver: func(m *message.Message) { hopFlits += int64(m.HopsTotal) * int64(m.Len) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Run(3000); err != nil {
+			t.Fatalf("%s: %v", algName, err)
+		}
+		quiet := traffic.NewBernoulli(g, traffic.NewUniform(g), 0, 5)
+		*wl = *quiet
+		if err := n.Drain(200000); err != nil {
+			t.Fatalf("%s drain: %v", algName, err)
+		}
+		if n.FlitMoves() != hopFlits {
+			t.Errorf("%s: %d flit moves, deliveries account for %d", algName, n.FlitMoves(), hopFlits)
+		}
+		gen, adm, drop, del := n.Counts()
+		if adm != del {
+			t.Errorf("%s: admitted %d != delivered %d", algName, adm, del)
+		}
+		if gen != adm+drop {
+			t.Errorf("%s: generated %d != admitted %d + dropped %d", algName, gen, adm, drop)
+		}
+	}
+}
+
+// TestDeadlockFreedomUnderStress: the hop schemes must survive a
+// saturating store-and-forward load with single buffers per class — the
+// regime Gopal's buffer-reservation proof covers.
+func TestDeadlockFreedomUnderStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	g := topology.NewTorus(8, 2)
+	for _, algName := range []string{"phop", "nhop", "nbc"} {
+		alg, _ := routing.Get(algName)
+		wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.03, 7)
+		n, err := New(Config{
+			Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16,
+			BuffersPerClass: 1, CCLimit: 2, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Run(8000); err != nil {
+			t.Fatalf("%s: %v", algName, err)
+		}
+		quiet := traffic.NewBernoulli(g, traffic.NewUniform(g), 0, 7)
+		*wl = *quiet
+		if err := n.Drain(300000); err != nil {
+			t.Fatalf("%s failed to drain: %v", algName, err)
+		}
+	}
+}
+
+func TestUtilizationPositive(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	alg, _ := routing.Get("phop")
+	wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.01, 3)
+	n, _ := New(Config{Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, Seed: 3})
+	if n.Utilization() != 0 {
+		t.Error("utilization before running should be 0")
+	}
+	if err := n.Run(2000); err != nil {
+		t.Fatal(err)
+	}
+	u := n.Utilization()
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization %v", u)
+	}
+	if n.Grid() != g {
+		t.Error("Grid accessor broken")
+	}
+}
+
+func TestCongestionControl(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	alg, _ := routing.Get("phop")
+	wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.08, 9)
+	n, _ := New(Config{Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, CCLimit: 1, Seed: 9})
+	if err := n.Run(4000); err != nil {
+		t.Fatal(err)
+	}
+	_, _, dropped, _ := n.Counts()
+	if dropped == 0 {
+		t.Error("saturating saf load with CC limit 1 should drop")
+	}
+}
+
+func TestBuffersPerClassRelievePressure(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	alg, _ := routing.Get("nhop")
+	run := func(bufs int) int64 {
+		wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.02, 11)
+		n, _ := New(Config{Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, BuffersPerClass: bufs, Seed: 11})
+		if err := n.Run(5000); err != nil {
+			t.Fatal(err)
+		}
+		return n.FlitMoves()
+	}
+	if one, four := run(1), run(4); four < one {
+		t.Errorf("more buffers moved fewer flits: %d vs %d", one, four)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty saf config accepted")
+	}
+	odd := topology.NewTorus(5, 2)
+	nh, _ := routing.Get("nhop")
+	wl := traffic.NewBernoulli(odd, traffic.NewUniform(odd), 0.01, 1)
+	if _, err := New(Config{Grid: odd, Algorithm: nh, Workload: wl}); err == nil {
+		t.Error("nhop on odd torus accepted")
+	}
+}
+
+// TestNextClassMatchesArrivalCandidates: the buffer class reserved at the
+// next node must be exactly the class the algorithm quotes once the packet
+// is there (the Lemma 1 correspondence), across random walks.
+func TestNextClassMatchesArrivalCandidates(t *testing.T) {
+	g := topology.NewTorus(16, 2)
+	for _, algName := range []string{"phop", "nhop", "nbc"} {
+		alg, _ := routing.Get(algName)
+		wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.002, 13)
+		var checked int
+		n, _ := New(Config{Grid: g, Algorithm: alg, Workload: wl, MsgLen: 4, Seed: 13})
+		// Run and, at every completed hop, verify the settled packet's class
+		// is among the candidate classes at its node.
+		for i := 0; i < 3000; i++ {
+			if err := n.Step(); err != nil {
+				t.Fatalf("%s: %v", algName, err)
+			}
+			for _, p := range n.waiting {
+				var cands []routing.Candidate
+				cands = alg.Candidates(g, p.msg, p.node, cands)
+				ok := false
+				for _, c := range cands {
+					if c.VC == p.class {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("%s: packet %v at %d holds class %d, candidates %v",
+						algName, p.msg, p.node, p.class, cands)
+				}
+				checked++
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("%s: nothing checked", algName)
+		}
+	}
+}

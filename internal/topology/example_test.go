@@ -1,0 +1,50 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"wormsim/internal/topology"
+)
+
+func Example() {
+	g := topology.NewTorus(16, 2)
+	fmt.Println(g)
+	fmt.Println("nodes:", g.Nodes(), "channels:", g.NumChannels(), "diameter:", g.Diameter())
+	fmt.Printf("mean distance: %.3f\n", g.MeanUniformDistance())
+	// Output:
+	// 16-ary 2-cube (torus)
+	// nodes: 256 channels: 1024 diameter: 16
+	// mean distance: 8.031
+}
+
+func ExampleGrid_Offset() {
+	g := topology.NewTorus(16, 2)
+	src := g.ID([]int{14, 4})
+	dst := g.ID([]int{2, 2})
+	// Minimal travel wraps in dimension 0: +4 hops; dimension 1 needs -2.
+	fmt.Println(g.Offset(src, dst, 0), g.Offset(src, dst, 1))
+	fmt.Println("distance:", g.Distance(src, dst))
+	// Output:
+	// 4 -2
+	// distance: 6
+}
+
+func ExampleGrid_Neighbor() {
+	g := topology.NewTorus(4, 2)
+	n := g.ID([]int{3, 0})
+	fmt.Println(g.Neighbor(n, 0, topology.Plus)) // wraps to (0,0)
+	mesh := topology.NewMesh(4, 2)
+	fmt.Println(mesh.Neighbor(n, 0, topology.Plus)) // boundary
+	// Output:
+	// 0
+	// -1
+}
+
+func ExampleGrid_MinimalPaths() {
+	g := topology.NewTorus(16, 2)
+	src := g.ID([]int{4, 4})
+	dst := g.ID([]int{2, 2}) // the paper's Figure 2 pair
+	fmt.Println(g.MinimalPaths(src, dst))
+	// Output:
+	// 6
+}

@@ -1,0 +1,34 @@
+package topology
+
+import "math/big"
+
+// MinimalPaths returns the number of distinct minimal paths from src to
+// dst: the multinomial coefficient (sum of per-dimension hop counts)! /
+// product of per-dimension hop counts!. On an even-radix torus a dimension
+// exactly half the ring away contributes in both directions, doubling the
+// count per such dimension. The result quantifies how much physical
+// adaptivity a fully adaptive algorithm actually has for a given pair —
+// e-cube always uses exactly one of these paths.
+func (g *Grid) MinimalPaths(src, dst int) *big.Int {
+	total := 0
+	count := big.NewInt(1)
+	for dim := 0; dim < g.n; dim++ {
+		off := g.Offset(src, dst, dim)
+		if off < 0 {
+			off = -off
+		}
+		if g.TieInDim(src, dst, dim) {
+			count.Lsh(count, 1) // either way around the ring is minimal
+		}
+		total += off
+	}
+	num := new(big.Int).MulRange(1, int64(total)) // total!
+	for dim := 0; dim < g.n; dim++ {
+		off := g.Offset(src, dst, dim)
+		if off < 0 {
+			off = -off
+		}
+		num.Div(num, new(big.Int).MulRange(1, int64(off)))
+	}
+	return count.Mul(count, num)
+}

@@ -1,0 +1,425 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorPanics(t *testing.T) {
+	for _, tc := range []struct{ k, n int }{{1, 2}, {0, 1}, {4, 0}, {16, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("newGrid(%d,%d) did not panic", tc.k, tc.n)
+				}
+			}()
+			NewTorus(tc.k, tc.n)
+		}()
+	}
+}
+
+func TestNodesAndString(t *testing.T) {
+	g := NewTorus(16, 2)
+	if g.Nodes() != 256 {
+		t.Fatalf("16^2 torus has %d nodes, want 256", g.Nodes())
+	}
+	if g.String() != "16-ary 2-cube (torus)" {
+		t.Errorf("String = %q", g.String())
+	}
+	m := NewMesh(4, 3)
+	if m.Nodes() != 64 {
+		t.Fatalf("4^3 mesh has %d nodes, want 64", m.Nodes())
+	}
+	if m.String() != "4-ary 3-cube (mesh)" {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	for _, g := range []*Grid{NewTorus(16, 2), NewMesh(5, 3), NewTorus(3, 4)} {
+		coords := make([]int, g.N())
+		for id := 0; id < g.Nodes(); id++ {
+			g.Coords(id, coords)
+			if back := g.ID(coords); back != id {
+				t.Fatalf("%v: ID(Coords(%d)) = %d", g, id, back)
+			}
+			for dim := 0; dim < g.N(); dim++ {
+				if g.Coord(id, dim) != coords[dim] {
+					t.Fatalf("%v: Coord(%d,%d) = %d, want %d", g, id, dim, g.Coord(id, dim), coords[dim])
+				}
+			}
+		}
+	}
+}
+
+func TestIDPanicsOnBadCoord(t *testing.T) {
+	g := NewTorus(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ID with out-of-range coordinate did not panic")
+		}
+	}()
+	g.ID([]int{4, 0})
+}
+
+func TestNeighborTorus(t *testing.T) {
+	g := NewTorus(16, 2)
+	// (0,0) has wrap neighbours.
+	n00 := g.ID([]int{0, 0})
+	if got := g.Neighbor(n00, 0, Minus); got != g.ID([]int{15, 0}) {
+		t.Errorf("(0,0) -x neighbour = %d, want (15,0)", got)
+	}
+	if got := g.Neighbor(n00, 1, Minus); got != g.ID([]int{0, 15}) {
+		t.Errorf("(0,0) -y neighbour = %d, want (0,15)", got)
+	}
+	if got := g.Neighbor(g.ID([]int{15, 3}), 0, Plus); got != g.ID([]int{0, 3}) {
+		t.Errorf("(15,3) +x neighbour = %d, want (0,3)", got)
+	}
+}
+
+func TestNeighborMeshBoundary(t *testing.T) {
+	g := NewMesh(4, 2)
+	if got := g.Neighbor(g.ID([]int{0, 2}), 0, Minus); got != -1 {
+		t.Errorf("mesh west edge neighbour = %d, want -1", got)
+	}
+	if got := g.Neighbor(g.ID([]int{3, 2}), 0, Plus); got != -1 {
+		t.Errorf("mesh east edge neighbour = %d, want -1", got)
+	}
+	if got := g.Neighbor(g.ID([]int{1, 1}), 1, Plus); got != g.ID([]int{1, 2}) {
+		t.Errorf("mesh interior neighbour = %d", got)
+	}
+}
+
+func TestNeighborInvolution(t *testing.T) {
+	// Going dir then the opposite direction returns to the start.
+	for _, g := range []*Grid{NewTorus(8, 2), NewMesh(5, 2), NewTorus(4, 3)} {
+		for id := 0; id < g.Nodes(); id++ {
+			for dim := 0; dim < g.N(); dim++ {
+				for _, dir := range []Dir{Plus, Minus} {
+					nb := g.Neighbor(id, dim, dir)
+					if nb < 0 {
+						continue
+					}
+					if back := g.Neighbor(nb, dim, dir.Opposite()); back != id {
+						t.Fatalf("%v: %d -%v-> %d -%v-> %d", g, id, dir, nb, dir.Opposite(), back)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDirString(t *testing.T) {
+	if Plus.String() != "+" || Minus.String() != "-" {
+		t.Errorf("Dir strings: %q %q", Plus, Minus)
+	}
+	if Plus.Opposite() != Minus || Minus.Opposite() != Plus {
+		t.Error("Opposite broken")
+	}
+}
+
+func TestOffsetMinimality(t *testing.T) {
+	g := NewTorus(16, 2)
+	for _, tc := range []struct {
+		s, d, dim, want int
+	}{
+		{0, 0, 0, 0},
+		{0, 3, 0, 3},
+		{0, 12, 0, -4}, // wrap is shorter
+		{14, 2, 0, 4},  // wrap forward
+		{0, 8, 0, 8},   // exact half: normalized to +8
+		{8, 0, 0, 8},   // exact half from the other side
+		{5, 5, 0, 0},
+		{3, 1, 0, -2},
+	} {
+		s := g.ID([]int{tc.s, 0})
+		d := g.ID([]int{tc.d, 0})
+		if got := g.Offset(s, d, tc.dim); got != tc.want {
+			t.Errorf("Offset(%d,%d) = %d, want %d", tc.s, tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestOffsetOddRadix(t *testing.T) {
+	g := NewTorus(5, 1)
+	for _, tc := range []struct{ s, d, want int }{
+		{0, 2, 2}, {0, 3, -2}, {4, 1, 2}, {1, 4, -2}, {2, 2, 0},
+	} {
+		if got := g.Offset(tc.s, tc.d, 0); got != tc.want {
+			t.Errorf("5-ring Offset(%d,%d) = %d, want %d", tc.s, tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestOffsetMagnitudeIsMinimal(t *testing.T) {
+	// |Offset| must equal the true ring distance in each dimension.
+	for _, g := range []*Grid{NewTorus(16, 2), NewTorus(7, 2), NewMesh(6, 2)} {
+		f := func(a, b uint16) bool {
+			s := int(a) % g.Nodes()
+			d := int(b) % g.Nodes()
+			for dim := 0; dim < g.N(); dim++ {
+				off := g.Offset(s, d, dim)
+				sc, dc := g.Coord(s, dim), g.Coord(d, dim)
+				diff := dc - sc
+				if diff < 0 {
+					diff = -diff
+				}
+				want := diff
+				if g.Wrap() && g.K()-diff < want {
+					want = g.K() - diff
+				}
+				if off < 0 {
+					off = -off
+				}
+				if off != want {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("%v: %v", g, err)
+		}
+	}
+}
+
+func TestTieInDim(t *testing.T) {
+	g := NewTorus(16, 2)
+	if !g.TieInDim(g.ID([]int{0, 0}), g.ID([]int{8, 0}), 0) {
+		t.Error("0 -> 8 in a 16-ring should be a tie")
+	}
+	if g.TieInDim(g.ID([]int{0, 0}), g.ID([]int{7, 0}), 0) {
+		t.Error("0 -> 7 should not be a tie")
+	}
+	odd := NewTorus(5, 1)
+	if odd.TieInDim(0, 2, 0) {
+		t.Error("odd radix never ties")
+	}
+	mesh := NewMesh(16, 2)
+	if mesh.TieInDim(0, 8, 0) {
+		t.Error("mesh never ties")
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	g := NewTorus(16, 2)
+	f := func(a, b uint16) bool {
+		s := int(a) % g.Nodes()
+		d := int(b) % g.Nodes()
+		ds := g.Distance(s, d)
+		switch {
+		case ds < 0 || ds > g.Diameter():
+			return false
+		case (ds == 0) != (s == d):
+			return false
+		case g.Distance(d, s) != ds: // symmetric on a torus
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	g := NewTorus(8, 2)
+	f := func(a, b, c uint16) bool {
+		x, y, z := int(a)%g.Nodes(), int(b)%g.Nodes(), int(c)%g.Nodes()
+		return g.Distance(x, z) <= g.Distance(x, y)+g.Distance(y, z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if got := NewTorus(16, 2).Diameter(); got != 16 {
+		t.Errorf("16^2 torus diameter = %d, want 16", got)
+	}
+	if got := NewMesh(16, 2).Diameter(); got != 30 {
+		t.Errorf("16^2 mesh diameter = %d, want 30", got)
+	}
+	if got := NewTorus(5, 3).Diameter(); got != 6 {
+		t.Errorf("5^3 torus diameter = %d, want 6", got)
+	}
+}
+
+func TestDiameterIsAchieved(t *testing.T) {
+	for _, g := range []*Grid{NewTorus(8, 2), NewMesh(4, 2), NewTorus(5, 2)} {
+		maxd := 0
+		for d := 0; d < g.Nodes(); d++ {
+			if dist := g.Distance(0, d); dist > maxd {
+				maxd = dist
+			}
+		}
+		if maxd != g.Diameter() {
+			t.Errorf("%v: max distance from 0 is %d, Diameter says %d", g, maxd, g.Diameter())
+		}
+	}
+}
+
+func TestMaxNegativeHops(t *testing.T) {
+	if got := NewTorus(16, 2).MaxNegativeHops(); got != 8 {
+		t.Errorf("16^2 torus max negative hops = %d, want 8 (paper: 9 buffer classes)", got)
+	}
+	if got := NewMesh(4, 2).MaxNegativeHops(); got != 3 {
+		t.Errorf("4^2 mesh max negative hops = %d, want 3", got)
+	}
+}
+
+func TestParityBipartite(t *testing.T) {
+	// On a bipartite grid every link joins opposite parities.
+	for _, g := range []*Grid{NewTorus(16, 2), NewMesh(5, 2), NewTorus(4, 3)} {
+		if !g.Bipartite() {
+			t.Fatalf("%v should be bipartite", g)
+		}
+		for id := 0; id < g.Nodes(); id++ {
+			for dim := 0; dim < g.N(); dim++ {
+				nb := g.Neighbor(id, dim, Plus)
+				if nb < 0 {
+					continue
+				}
+				if g.Parity(id) == g.Parity(nb) {
+					t.Fatalf("%v: nodes %d and %d adjacent with equal parity", g, id, nb)
+				}
+			}
+		}
+	}
+}
+
+func TestOddTorusNotBipartite(t *testing.T) {
+	g := NewTorus(5, 2)
+	if g.Bipartite() {
+		t.Error("5-ary torus claims to be bipartite")
+	}
+	// And indeed the wrap link joins equal parities.
+	a := g.ID([]int{4, 0})
+	b := g.Neighbor(a, 0, Plus) // wraps to (0,0)
+	if g.Parity(a) != g.Parity(b) {
+		t.Error("expected a parity violation across the odd wrap link")
+	}
+}
+
+func TestChannelIndexRoundTrip(t *testing.T) {
+	for _, g := range []*Grid{NewTorus(16, 2), NewMesh(4, 3)} {
+		seen := make(map[int]bool)
+		for id := 0; id < g.Nodes(); id++ {
+			for dim := 0; dim < g.N(); dim++ {
+				for _, dir := range []Dir{Plus, Minus} {
+					ch := g.ChannelIndex(id, dim, dir)
+					if ch < 0 || ch >= g.ChannelSlots() {
+						t.Fatalf("channel index %d out of range", ch)
+					}
+					if seen[ch] {
+						t.Fatalf("duplicate channel index %d", ch)
+					}
+					seen[ch] = true
+					gid, gdim, gdir := g.ChannelInfo(ch)
+					if gid != id || gdim != dim || gdir != dir {
+						t.Fatalf("ChannelInfo(%d) = (%d,%d,%v), want (%d,%d,%v)", ch, gid, gdim, gdir, id, dim, dir)
+					}
+				}
+			}
+		}
+		if len(seen) != g.ChannelSlots() {
+			t.Fatalf("%v: %d slots seen, want %d", g, len(seen), g.ChannelSlots())
+		}
+	}
+}
+
+func TestNumChannels(t *testing.T) {
+	if got := NewTorus(16, 2).NumChannels(); got != 1024 {
+		t.Errorf("16^2 torus channels = %d, want 1024", got)
+	}
+	// 4x4 mesh: per dimension 3 links per line * 4 lines * 2 directions = 24.
+	if got := NewMesh(4, 2).NumChannels(); got != 48 {
+		t.Errorf("4^2 mesh channels = %d, want 48", got)
+	}
+	// NumChannels must agree with HasChannel enumeration.
+	for _, g := range []*Grid{NewTorus(6, 2), NewMesh(5, 3)} {
+		count := 0
+		for id := 0; id < g.Nodes(); id++ {
+			for dim := 0; dim < g.N(); dim++ {
+				for _, dir := range []Dir{Plus, Minus} {
+					if g.HasChannel(id, dim, dir) {
+						count++
+					}
+				}
+			}
+		}
+		if count != g.NumChannels() {
+			t.Errorf("%v: enumerated %d channels, NumChannels says %d", g, count, g.NumChannels())
+		}
+	}
+}
+
+func TestCrossesDateline(t *testing.T) {
+	g := NewTorus(16, 2)
+	if !g.CrossesDateline(15, Plus) {
+		t.Error("hop 15 -> 0 (+) should cross the dateline")
+	}
+	if g.CrossesDateline(14, Plus) {
+		t.Error("hop 14 -> 15 (+) should not cross")
+	}
+	if !g.CrossesDateline(0, Minus) {
+		t.Error("hop 0 -> 15 (-) should cross the dateline")
+	}
+	if g.CrossesDateline(1, Minus) {
+		t.Error("hop 1 -> 0 (-) should not cross")
+	}
+	if NewMesh(16, 2).CrossesDateline(15, Plus) {
+		t.Error("meshes have no datelines")
+	}
+}
+
+func TestMeanUniformDistance(t *testing.T) {
+	// The paper's "average diameter" of the 16-ary 2-cube is 8.03.
+	got := NewTorus(16, 2).MeanUniformDistance()
+	if math.Abs(got-8.031) > 0.001 {
+		t.Errorf("16^2 torus mean distance = %.4f, want 8.031", got)
+	}
+	// Small cases by hand: 4-ring distances from 0: 1,2,1 -> mean 4/3.
+	got = NewTorus(4, 1).MeanUniformDistance()
+	if math.Abs(got-4.0/3) > 1e-12 {
+		t.Errorf("4-ring mean distance = %v, want 4/3", got)
+	}
+	// 2x2 mesh: distances 1,1,2 from a corner, symmetric: mean = 4/3.
+	got = NewMesh(2, 2).MeanUniformDistance()
+	if math.Abs(got-4.0/3) > 1e-12 {
+		t.Errorf("2^2 mesh mean distance = %v, want 4/3", got)
+	}
+}
+
+func TestMeanUniformDistanceMatchesEnumeration(t *testing.T) {
+	g := NewTorus(6, 2)
+	total, pairs := 0, 0
+	for s := 0; s < g.Nodes(); s++ {
+		for d := 0; d < g.Nodes(); d++ {
+			if s == d {
+				continue
+			}
+			total += g.Distance(s, d)
+			pairs++
+		}
+	}
+	want := float64(total) / float64(pairs)
+	if got := g.MeanUniformDistance(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean distance %v, enumeration %v", got, want)
+	}
+}
+
+func BenchmarkDistance(b *testing.B) {
+	g := NewTorus(16, 2)
+	for i := 0; i < b.N; i++ {
+		g.Distance(i%256, (i*37)%256)
+	}
+}
+
+func BenchmarkNeighbor(b *testing.B) {
+	g := NewTorus(16, 2)
+	for i := 0; i < b.N; i++ {
+		g.Neighbor(i%256, i&1, Dir(i>>1&1))
+	}
+}

@@ -1,0 +1,48 @@
+package traffic_test
+
+import (
+	"fmt"
+
+	"wormsim/internal/topology"
+	"wormsim/internal/traffic"
+)
+
+// Example reproduces the paper's hotspot arithmetic: with 4% hotspot
+// traffic on a 16-ary 2-cube, a message is directed to the hot node with
+// probability 0.0438 and to any other node with probability 0.0038.
+func Example() {
+	g := topology.NewTorus(16, 2)
+	h := traffic.NewHotspot(g, 255, 0.04)
+	fmt.Printf("P(hot)=%.4f P(other)=%.4f\n", h.DestProb(0, 255), h.DestProb(0, 17))
+	// Output:
+	// P(hot)=0.0438 P(other)=0.0038
+}
+
+func ExampleNewBernoulli() {
+	g := topology.NewTorus(16, 2)
+	wl := traffic.NewBernoulli(g, traffic.NewLocal(g, 3), 0.01, 1)
+	fmt.Printf("%s: mean distance %.1f hops\n", wl.Name(), wl.MeanDistance())
+	w := wl.HopClassWeights()
+	fmt.Printf("hop-class weights 1..6: %.4f %.4f %.4f %.4f %.4f %.4f\n",
+		w[1], w[2], w[3], w[4], w[5], w[6])
+	// Output:
+	// local(r=3)@0.01/node/cycle: mean distance 3.5 hops
+	// hop-class weights 1..6: 0.0833 0.1667 0.2500 0.2500 0.1667 0.0833
+}
+
+func ExampleParse() {
+	g := topology.NewTorus(16, 2)
+	for _, spec := range []string{"uniform", "hotspot:0.08:100", "local:2", "tornado"} {
+		p, err := traffic.Parse(g, spec)
+		if err != nil {
+			fmt.Println(err)
+			continue
+		}
+		fmt.Println(p.Name())
+	}
+	// Output:
+	// uniform
+	// hotspot(100,8.0%)
+	// local(r=2)
+	// tornado
+}

@@ -1,0 +1,97 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"wormsim/internal/rng"
+	"wormsim/internal/topology"
+)
+
+// TestDistanceStatsMatchMonteCarlo cross-validates the exact hop-class
+// weights and mean distance (computed by enumeration of DestProb) against
+// a large Monte Carlo sample of Dest draws, for every random pattern.
+func TestDistanceStatsMatchMonteCarlo(t *testing.T) {
+	g := topology.NewTorus(16, 2)
+	patterns := []Pattern{
+		NewUniform(g),
+		NewHotspot(g, 255, 0.04),
+		NewHotspot(g, 119, 0.16),
+		NewLocal(g, 3),
+		NewLocal(g, 5),
+	}
+	r := rng.New(123)
+	const draws = 120000
+	for _, p := range patterns {
+		wl := NewBernoulli(g, p, 0, 1)
+		exactMean := wl.MeanDistance()
+		exactWeights := wl.HopClassWeights()
+
+		counts := make([]float64, g.Diameter()+1)
+		sum := 0.0
+		made := 0
+		for i := 0; i < draws; i++ {
+			src := r.Intn(g.Nodes())
+			dst := p.Dest(src, r)
+			if dst < 0 {
+				continue
+			}
+			d := g.Distance(src, dst)
+			counts[d]++
+			sum += float64(d)
+			made++
+		}
+		mcMean := sum / float64(made)
+		if math.Abs(mcMean-exactMean) > 0.05 {
+			t.Errorf("%s: Monte Carlo mean %.3f vs exact %.3f", p.Name(), mcMean, exactMean)
+		}
+		for d := range counts {
+			mc := counts[d] / float64(made)
+			if math.Abs(mc-exactWeights[d]) > 5*math.Sqrt(exactWeights[d]/draws)+0.002 {
+				t.Errorf("%s: hop class %d Monte Carlo %.4f vs exact %.4f", p.Name(), d, mc, exactWeights[d])
+			}
+		}
+	}
+}
+
+// TestHotspotMeanDistanceAboveUniform: the hotspot component pulls the mean
+// toward the hot node's average distance; with the hot node in the corner
+// the overall mean stays close to uniform but the hot-node hop classes
+// inflate.
+func TestHotspotReceiveShare(t *testing.T) {
+	g := topology.NewTorus(16, 2)
+	h := NewHotspot(g, 255, 0.04)
+	r := rng.New(7)
+	const draws = 100000
+	hot := 0
+	for i := 0; i < draws; i++ {
+		src := r.Intn(g.Nodes())
+		if h.Dest(src, r) == 255 {
+			hot++
+		}
+	}
+	got := float64(hot) / draws
+	// Expected: average over sources of P(dst=hot|src). For src != hot it
+	// is 0.0438; the hot node itself contributes 0.
+	want := 0.0438 * 255 / 256
+	if math.Abs(got-want) > 0.002 {
+		t.Errorf("hot node receives %.4f of traffic, want about %.4f", got, want)
+	}
+}
+
+// TestLocalNeverLeavesBox: property over many draws.
+func TestLocalNeverLeavesBox(t *testing.T) {
+	g := topology.NewTorus(16, 2)
+	l := NewLocal(g, 3)
+	r := rng.New(11)
+	for i := 0; i < 20000; i++ {
+		src := r.Intn(g.Nodes())
+		dst := l.Dest(src, r)
+		for dim := 0; dim < 2; dim++ {
+			off := g.Offset(src, dst, dim)
+			if off < -3 || off > 3 {
+				t.Fatalf("local dest %d is offset %d from %d in dim %d", dst, off, src, dim)
+			}
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package traffic generates the workloads of the paper's evaluation:
+// uniform, hotspot and local traffic patterns with geometrically distributed
+// message interarrival times, plus the matrix-transpose, bit-reversal,
+// complement and trace-driven extensions the paper mentions (sec. 3.4 cites
+// Glass & Ni's transpose results; sec. 4 plans trace-driven evaluation).
+//
+// A Pattern chooses destinations; a Workload combines a pattern with an
+// arrival process and feeds the simulator. Patterns also expose their exact
+// destination distribution so mean distance and the hop-class stratum
+// weights used by the convergence machinery can be computed in closed form.
+package traffic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wormsim/internal/rng"
+	"wormsim/internal/topology"
+)
+
+// Pattern selects a destination for a message generated at a source node.
+type Pattern interface {
+	// Name returns a short identifier, e.g. "uniform" or "hotspot(255,4%)".
+	Name() string
+	// Dest returns the destination for a message from src, or -1 if this
+	// source generates no message under the pattern (e.g. a diagonal node
+	// under matrix transpose).
+	Dest(src int, r *rng.Stream) int
+	// DestProb returns P(destination = dst | message generated at src). The
+	// probabilities over dst sum to at most 1; a deficit means the source
+	// generates fewer messages (only transpose-like permutations do this).
+	DestProb(src, dst int) float64
+}
+
+// Uniform sends each message to a destination chosen uniformly among all
+// other nodes — the paper's "random" pattern, representative of hashed data
+// distribution in massively parallel computations.
+type Uniform struct{ g *topology.Grid }
+
+// NewUniform returns the uniform pattern on g.
+func NewUniform(g *topology.Grid) *Uniform { return &Uniform{g: g} }
+
+// Name returns "uniform".
+func (u *Uniform) Name() string { return "uniform" }
+
+// Dest draws uniformly among the other nodes.
+func (u *Uniform) Dest(src int, r *rng.Stream) int {
+	d := r.Intn(u.g.Nodes() - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// DestProb returns 1/(N-1) for dst != src.
+func (u *Uniform) DestProb(src, dst int) float64 {
+	if src == dst {
+		return 0
+	}
+	return 1 / float64(u.g.Nodes()-1)
+}
+
+// Hotspot layers single-node hotspot traffic over the uniform pattern: with
+// probability Frac a new message is directed to the hot node, otherwise
+// uniformly to any other node. With Frac = 0.04 on a 16-ary 2-cube this
+// reproduces the paper's numbers: the hot node receives each message with
+// probability 0.0438 and every other node with 0.0038, i.e. about 11.5x the
+// average traffic. Messages the hot node would address to itself fall back
+// to the uniform component.
+type Hotspot struct {
+	g    *topology.Grid
+	Hot  int
+	Frac float64
+}
+
+// NewHotspot returns the hotspot pattern with the given hot node and
+// hotspot fraction.
+func NewHotspot(g *topology.Grid, hot int, frac float64) *Hotspot {
+	if hot < 0 || hot >= g.Nodes() {
+		panic(fmt.Sprintf("traffic: hotspot node %d out of range", hot))
+	}
+	if frac < 0 || frac >= 1 {
+		panic(fmt.Sprintf("traffic: hotspot fraction %g out of range [0,1)", frac))
+	}
+	return &Hotspot{g: g, Hot: hot, Frac: frac}
+}
+
+// Name returns e.g. "hotspot(255,4.0%)".
+func (h *Hotspot) Name() string {
+	return fmt.Sprintf("hotspot(%d,%.1f%%)", h.Hot, h.Frac*100)
+}
+
+// Dest draws the hot node with probability Frac, else uniform-other.
+func (h *Hotspot) Dest(src int, r *rng.Stream) int {
+	if r.Bernoulli(h.Frac) && h.Hot != src {
+		return h.Hot
+	}
+	d := r.Intn(h.g.Nodes() - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// DestProb combines the hotspot and uniform components.
+func (h *Hotspot) DestProb(src, dst int) float64 {
+	if src == dst {
+		return 0
+	}
+	n1 := float64(h.g.Nodes() - 1)
+	if src == h.Hot {
+		return 1 / n1
+	}
+	p := (1 - h.Frac) / n1
+	if dst == h.Hot {
+		p += h.Frac
+	}
+	return p
+}
+
+// Local sends each message uniformly into the (2R+1)^n box centred on the
+// source (excluding the source itself). With R = 3 on a 16-ary 2-cube this
+// is the paper's 7x7 local pattern with locality factor 0.4 and mean
+// distance 3.5.
+type Local struct {
+	g      *topology.Grid
+	Radius int
+}
+
+// NewLocal returns the local pattern with the given box radius. On a torus
+// the radius must be less than k/2 so the box is unambiguous.
+func NewLocal(g *topology.Grid, radius int) *Local {
+	if radius < 1 {
+		panic("traffic: local radius must be >= 1")
+	}
+	if g.Wrap() && 2*radius >= g.K() {
+		panic(fmt.Sprintf("traffic: local radius %d too large for radix %d torus", radius, g.K()))
+	}
+	return &Local{g: g, Radius: radius}
+}
+
+// Name returns e.g. "local(r=3)".
+func (l *Local) Name() string { return fmt.Sprintf("local(r=%d)", l.Radius) }
+
+// Dest draws a uniform nonzero offset vector within the box, rejecting
+// offsets that fall outside a mesh boundary.
+func (l *Local) Dest(src int, r *rng.Stream) int {
+	g := l.g
+	coords := make([]int, g.N())
+	for {
+		zero := true
+		ok := true
+		for dim := 0; dim < g.N(); dim++ {
+			off := r.Intn(2*l.Radius+1) - l.Radius
+			if off != 0 {
+				zero = false
+			}
+			c := g.Coord(src, dim) + off
+			if g.Wrap() {
+				c = ((c % g.K()) + g.K()) % g.K()
+			} else if c < 0 || c >= g.K() {
+				ok = false
+				break
+			}
+			coords[dim] = c
+		}
+		if ok && !zero {
+			return g.ID(coords)
+		}
+	}
+}
+
+// inBox reports whether dst lies in the box around src, i.e. every
+// per-dimension minimal offset has magnitude <= R.
+func (l *Local) inBox(src, dst int) bool {
+	for dim := 0; dim < l.g.N(); dim++ {
+		off := l.g.Offset(src, dst, dim)
+		if off < -l.Radius || off > l.Radius {
+			return false
+		}
+	}
+	return true
+}
+
+// DestProb returns 1/(box size - 1) for box members.
+func (l *Local) DestProb(src, dst int) float64 {
+	if src == dst || !l.inBox(src, dst) {
+		return 0
+	}
+	if l.g.Wrap() {
+		size := 1
+		for i := 0; i < l.g.N(); i++ {
+			size *= 2*l.Radius + 1
+		}
+		return 1 / float64(size-1)
+	}
+	// Mesh: count the clipped box.
+	size := 1
+	for dim := 0; dim < l.g.N(); dim++ {
+		c := l.g.Coord(src, dim)
+		lo := max(0, c-l.Radius)
+		hi := min(l.g.K()-1, c+l.Radius)
+		size *= hi - lo + 1
+	}
+	return 1 / float64(size-1)
+}
+
+// Transpose is the matrix-transpose permutation: the destination's
+// coordinate vector is the source's reversed ((i,j) -> (j,i) in two
+// dimensions). Nodes on the diagonal generate no traffic. Glass & Ni report
+// the turn-model algorithms beating e-cube on this pattern; experiment
+// X-TRANS revisits that claim.
+type Transpose struct{ g *topology.Grid }
+
+// NewTranspose returns the transpose pattern.
+func NewTranspose(g *topology.Grid) *Transpose { return &Transpose{g: g} }
+
+// Name returns "transpose".
+func (t *Transpose) Name() string { return "transpose" }
+
+// dest computes the deterministic destination.
+func (t *Transpose) dest(src int) int {
+	g := t.g
+	coords := make([]int, g.N())
+	g.Coords(src, coords)
+	for i, j := 0, g.N()-1; i < j; i, j = i+1, j-1 {
+		coords[i], coords[j] = coords[j], coords[i]
+	}
+	return g.ID(coords)
+}
+
+// Dest returns the transpose of src, or -1 on the diagonal.
+func (t *Transpose) Dest(src int, _ *rng.Stream) int {
+	d := t.dest(src)
+	if d == src {
+		return -1
+	}
+	return d
+}
+
+// DestProb is 1 for the transpose destination, 0 otherwise.
+func (t *Transpose) DestProb(src, dst int) float64 {
+	if dst != src && t.dest(src) == dst {
+		return 1
+	}
+	return 0
+}
+
+// BitReversal is the bit-reversal permutation on node ids (the node count
+// must be a power of two).
+type BitReversal struct {
+	g    *topology.Grid
+	bits int
+}
+
+// NewBitReversal returns the bit-reversal pattern; it panics unless the node
+// count is a power of two.
+func NewBitReversal(g *topology.Grid) *BitReversal {
+	n := g.Nodes()
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	if 1<<bits != n {
+		panic(fmt.Sprintf("traffic: bit reversal needs a power-of-two node count, have %d", n))
+	}
+	return &BitReversal{g: g, bits: bits}
+}
+
+// Name returns "bitrev".
+func (b *BitReversal) Name() string { return "bitrev" }
+
+func (b *BitReversal) dest(src int) int {
+	d := 0
+	for i := 0; i < b.bits; i++ {
+		d = d<<1 | (src>>i)&1
+	}
+	return d
+}
+
+// Dest returns the bit-reversed id, or -1 for palindromic ids.
+func (b *BitReversal) Dest(src int, _ *rng.Stream) int {
+	d := b.dest(src)
+	if d == src {
+		return -1
+	}
+	return d
+}
+
+// DestProb is 1 for the reversed id, 0 otherwise.
+func (b *BitReversal) DestProb(src, dst int) float64 {
+	if dst != src && b.dest(src) == dst {
+		return 1
+	}
+	return 0
+}
+
+// Complement sends each message to the node diametrically opposite the
+// source (coordinates shifted by k/2 on a torus, mirrored on a mesh) —
+// every message travels the full diameter, the adversarial long-haul
+// pattern.
+type Complement struct{ g *topology.Grid }
+
+// NewComplement returns the complement pattern.
+func NewComplement(g *topology.Grid) *Complement { return &Complement{g: g} }
+
+// Name returns "complement".
+func (c *Complement) Name() string { return "complement" }
+
+func (c *Complement) dest(src int) int {
+	g := c.g
+	coords := make([]int, g.N())
+	g.Coords(src, coords)
+	for i := range coords {
+		if g.Wrap() {
+			coords[i] = (coords[i] + g.K()/2) % g.K()
+		} else {
+			coords[i] = g.K() - 1 - coords[i]
+		}
+	}
+	return g.ID(coords)
+}
+
+// Dest returns the complement node, or -1 if it equals the source.
+func (c *Complement) Dest(src int, _ *rng.Stream) int {
+	d := c.dest(src)
+	if d == src {
+		return -1
+	}
+	return d
+}
+
+// DestProb is 1 for the complement node, 0 otherwise.
+func (c *Complement) DestProb(src, dst int) float64 {
+	if dst != src && c.dest(src) == dst {
+		return 1
+	}
+	return 0
+}
+
+// Parse builds a pattern on g from a CLI-style spec:
+//
+//	uniform | hotspot[:frac[:node]] | local[:radius] | transpose |
+//	bitrev | complement | tornado | shuffle
+//
+// Defaults follow the paper: hotspot fraction 0.04 at the corner node,
+// local radius 3.
+func Parse(g *topology.Grid, spec string) (Pattern, error) {
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "uniform":
+		return NewUniform(g), nil
+	case "hotspot":
+		frac := 0.04
+		hot := g.Nodes() - 1
+		if len(parts) > 1 && parts[1] != "" {
+			f, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: bad hotspot fraction %q: %v", parts[1], err)
+			}
+			frac = f
+		}
+		if len(parts) > 2 {
+			n, err := strconv.Atoi(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("traffic: bad hotspot node %q: %v", parts[2], err)
+			}
+			hot = n
+		}
+		return NewHotspot(g, hot, frac), nil
+	case "local":
+		radius := 3
+		if len(parts) > 1 && parts[1] != "" {
+			rv, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("traffic: bad local radius %q: %v", parts[1], err)
+			}
+			radius = rv
+		}
+		return NewLocal(g, radius), nil
+	case "transpose":
+		return NewTranspose(g), nil
+	case "bitrev":
+		return NewBitReversal(g), nil
+	case "complement":
+		return NewComplement(g), nil
+	case "tornado":
+		return NewTornado(g), nil
+	case "shuffle":
+		return NewShuffle(g), nil
+	}
+	return nil, fmt.Errorf("traffic: unknown pattern %q", spec)
+}

@@ -1,0 +1,109 @@
+package traffic
+
+import (
+	"fmt"
+
+	"wormsim/internal/rng"
+	"wormsim/internal/topology"
+)
+
+// Additional deterministic permutation patterns from the standard
+// interconnection-network evaluation suite, beyond the paper's three
+// workloads: tornado (the adversary for minimal routing on rings) and the
+// perfect shuffle (butterfly-style long-haul pattern). Both plug into the
+// same Workload machinery as the paper's patterns.
+
+// Tornado sends each message floor((k-1)/2) hops in the Plus direction of
+// every dimension — almost half-way around each ring, the classic
+// adversarial pattern that concentrates all traffic in one rotational
+// direction and defeats any load balancing that relies on destination
+// symmetry.
+type Tornado struct{ g *topology.Grid }
+
+// NewTornado returns the tornado pattern; it requires a torus (the pattern
+// is rotational).
+func NewTornado(g *topology.Grid) *Tornado {
+	if !g.Wrap() {
+		panic("traffic: tornado needs a torus")
+	}
+	return &Tornado{g: g}
+}
+
+// Name returns "tornado".
+func (t *Tornado) Name() string { return "tornado" }
+
+func (t *Tornado) dest(src int) int {
+	g := t.g
+	hop := (g.K() - 1) / 2
+	coords := make([]int, g.N())
+	g.Coords(src, coords)
+	for i := range coords {
+		coords[i] = (coords[i] + hop) % g.K()
+	}
+	return g.ID(coords)
+}
+
+// Dest returns the tornado destination, or -1 if it equals the source
+// (radix 2).
+func (t *Tornado) Dest(src int, _ *rng.Stream) int {
+	d := t.dest(src)
+	if d == src {
+		return -1
+	}
+	return d
+}
+
+// DestProb is 1 for the tornado destination.
+func (t *Tornado) DestProb(src, dst int) float64 {
+	if dst != src && t.dest(src) == dst {
+		return 1
+	}
+	return 0
+}
+
+// Shuffle is the perfect-shuffle permutation on node ids (rotate the id's
+// bits left by one); the node count must be a power of two.
+type Shuffle struct {
+	g    *topology.Grid
+	bits int
+}
+
+// NewShuffle returns the perfect-shuffle pattern; it panics unless the node
+// count is a power of two.
+func NewShuffle(g *topology.Grid) *Shuffle {
+	n := g.Nodes()
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	if 1<<bits != n {
+		panic(fmt.Sprintf("traffic: shuffle needs a power-of-two node count, have %d", n))
+	}
+	return &Shuffle{g: g, bits: bits}
+}
+
+// Name returns "shuffle".
+func (s *Shuffle) Name() string { return "shuffle" }
+
+func (s *Shuffle) dest(src int) int {
+	top := src >> (s.bits - 1) & 1
+	return (src<<1 | top) & (1<<s.bits - 1)
+}
+
+// Dest returns the shuffled id, or -1 for fixed points (all-zero and
+// all-one ids).
+func (s *Shuffle) Dest(src int, _ *rng.Stream) int {
+	d := s.dest(src)
+	if d == src {
+		return -1
+	}
+	return d
+}
+
+// DestProb is 1 for the shuffled id.
+func (s *Shuffle) DestProb(src, dst int) float64 {
+	if dst != src && s.dest(src) == dst {
+		return 1
+	}
+	return 0
+}

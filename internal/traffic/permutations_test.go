@@ -1,0 +1,121 @@
+package traffic
+
+import (
+	"testing"
+
+	"wormsim/internal/rng"
+	"wormsim/internal/topology"
+)
+
+func TestTornado(t *testing.T) {
+	g := topology.NewTorus(16, 2)
+	tor := NewTornado(g)
+	// (0,0) -> (7,7): 7 hops plus in each dimension.
+	if got, want := tor.Dest(0, rng.New(1)), g.ID([]int{7, 7}); got != want {
+		t.Errorf("tornado(0) = %d, want %d", got, want)
+	}
+	// The pattern is a rotation: every node generates traffic.
+	for src := 0; src < g.Nodes(); src++ {
+		if tor.Dest(src, rng.New(1)) < 0 {
+			t.Fatalf("tornado fixed point at %d", src)
+		}
+	}
+	checkDestProbSums(t, g, tor, func(int) float64 { return 1 })
+	// Every message travels the same distance: 7 per dimension = 14.
+	wl := NewBernoulli(g, tor, 0, 1)
+	if md := wl.MeanDistance(); md != 14 {
+		t.Errorf("tornado mean distance = %v, want 14", md)
+	}
+	// Tornado concentrates load in the Plus directions: all minimal offsets
+	// are positive.
+	for src := 0; src < g.Nodes(); src += 17 {
+		dst := tor.Dest(src, rng.New(1))
+		for dim := 0; dim < 2; dim++ {
+			if g.Offset(src, dst, dim) != 7 {
+				t.Fatalf("tornado offset in dim %d is %d, want +7", dim, g.Offset(src, dst, dim))
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("tornado on a mesh did not panic")
+		}
+	}()
+	NewTornado(topology.NewMesh(16, 2))
+}
+
+func TestShuffle(t *testing.T) {
+	g := topology.NewTorus(16, 2) // 256 nodes = 2^8
+	s := NewShuffle(g)
+	// 0b00000001 -> 0b00000010.
+	if got := s.Dest(1, rng.New(1)); got != 2 {
+		t.Errorf("shuffle(1) = %d, want 2", got)
+	}
+	// Top bit wraps: 0b10000000 -> 0b00000001.
+	if got := s.Dest(128, rng.New(1)); got != 1 {
+		t.Errorf("shuffle(128) = %d, want 1", got)
+	}
+	// Fixed points: all-zeros and all-ones.
+	if got := s.Dest(0, rng.New(1)); got != -1 {
+		t.Errorf("shuffle(0) = %d, want -1", got)
+	}
+	if got := s.Dest(255, rng.New(1)); got != -1 {
+		t.Errorf("shuffle(255) = %d, want -1", got)
+	}
+	checkDestProbSums(t, g, s, func(src int) float64 {
+		if src == 0 || src == 255 {
+			return 0
+		}
+		return 1
+	})
+	// Shuffle is a bijection away from fixed points: every non-fixed node
+	// is someone's destination exactly once.
+	seen := map[int]int{}
+	for src := 0; src < g.Nodes(); src++ {
+		if d := s.Dest(src, rng.New(1)); d >= 0 {
+			seen[d]++
+		}
+	}
+	for d, c := range seen {
+		if c != 1 {
+			t.Fatalf("destination %d hit %d times", d, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shuffle on a non-power-of-two grid did not panic")
+		}
+	}()
+	NewShuffle(topology.NewTorus(6, 2))
+}
+
+func TestParsePermutations(t *testing.T) {
+	g := topology.NewTorus(16, 2)
+	for spec, want := range map[string]string{"tornado": "tornado", "shuffle": "shuffle"} {
+		p, err := Parse(g, spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if p.Name() != want {
+			t.Errorf("Parse(%q).Name() = %q", spec, p.Name())
+		}
+	}
+}
+
+// TestTornadoStressesRouting: an end-to-end sanity check that the tornado
+// pattern flows through the workload machinery (its weights put all mass in
+// one hop class).
+func TestTornadoHopClass(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	wl := NewBernoulli(g, NewTornado(g), 0.01, 1)
+	w := wl.HopClassWeights()
+	for d, x := range w {
+		if d == 6 { // 3+3 hops on an 8-ary 2-cube
+			if x != 1 {
+				t.Errorf("hop class 6 weight %v, want 1", x)
+			}
+		} else if x != 0 {
+			t.Errorf("hop class %d weight %v, want 0", d, x)
+		}
+	}
+}
