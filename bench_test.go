@@ -23,6 +23,7 @@ import (
 	"wormsim/internal/core"
 	"wormsim/internal/network"
 	"wormsim/internal/routing"
+	"wormsim/internal/telemetry"
 	"wormsim/internal/topology"
 	"wormsim/internal/traffic"
 )
@@ -228,6 +229,52 @@ func BenchmarkAblationMsgLen(b *testing.B) {
 				b.ReportMetric(res.Throughput, "throughput")
 			})
 		}
+	}
+}
+
+// BenchmarkTelemetryOverhead measures the per-cycle cost of the telemetry
+// hooks on a 16x16 torus at a moderate uniform load: "off" is the disabled
+// path (nil collector — one predictable branch per hook, the configuration
+// every plain run uses, documented to stay within 5% of the pre-telemetry
+// engine), "metrics" adds the counter/gauge updates and "trace" the full
+// lifecycle ring buffer.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	variants := []struct {
+		name string
+		opts *telemetry.Options
+	}{
+		{"off", nil},
+		{"metrics", &telemetry.Options{Metrics: true}},
+		{"trace", &telemetry.Options{Metrics: true, Trace: true}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			g := topology.NewTorus(16, 2)
+			alg, err := routing.Get("nbc")
+			if err != nil {
+				b.Fatal(err)
+			}
+			var tel *telemetry.Collector
+			if v.opts != nil {
+				tel = telemetry.New(*v.opts, g.ChannelSlots(), alg.NumVCs(g))
+			}
+			wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.01, 1)
+			n, err := network.New(network.Config{
+				Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, CCLimit: 2, Seed: 1,
+				Telemetry: tel,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := n.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			moves := n.Total().FlitMoves
+			b.ReportMetric(float64(moves)/float64(b.N), "flits/cycle")
+		})
 	}
 }
 

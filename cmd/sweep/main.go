@@ -14,10 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"wormsim/internal/core"
 	"wormsim/internal/routing"
+	"wormsim/internal/telemetry"
 )
 
 func main() {
@@ -40,14 +42,33 @@ func main() {
 	flag.Int64Var(&cfg.WarmupCycles, "warmup", 0, "warmup cycles")
 	flag.Int64Var(&cfg.SampleCycles, "sample", 0, "cycles per sample")
 	flag.IntVar(&cfg.MaxSamples, "maxsamples", 0, "max sampling periods")
+	metrics := flag.Bool("metrics", false, "collect telemetry; prints a per-point summary on stderr (json format embeds the full summary)")
+	tracePrefix := flag.String("trace", "", "write a Chrome trace per point to PREFIX-<alg>-<load>.json")
+	progress := flag.Bool("progress", false, "live sweep progress with ETA on stderr")
 	flag.Parse()
 	cfg.Switching = core.Switching(*sw)
 	cfg.Seed = *seed
+	if *metrics || *tracePrefix != "" {
+		cfg.Telemetry = &telemetry.Options{Metrics: *metrics, Trace: *tracePrefix != ""}
+	}
 
 	loads, err := core.ParseLoads(*loadSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
+	}
+	algList := strings.Split(*algs, ",")
+	var prog *telemetry.Progress
+	if *progress {
+		prog = telemetry.NewProgress(os.Stderr, "sweep", len(algList)*len(loads))
+	}
+	// note prints a stderr annotation, first breaking out of the progress
+	// line's carriage-return rewrite cycle if one is active.
+	note := func(format string, a ...any) {
+		if prog != nil {
+			fmt.Fprintln(os.Stderr)
+		}
+		fmt.Fprintf(os.Stderr, format, a...)
 	}
 
 	switch *format {
@@ -62,11 +83,17 @@ func main() {
 		os.Exit(1)
 	}
 	enc := json.NewEncoder(os.Stdout)
-	for _, alg := range strings.Split(*algs, ",") {
+	var onDone func(i int, r core.Result)
+	if prog != nil {
+		onDone = func(_ int, r core.Result) {
+			prog.Step(fmt.Sprintf("%s rho=%.2f lat=%.1f", r.Algorithm, r.OfferedLoad, r.AvgLatency))
+		}
+	}
+	for _, alg := range algList {
 		alg = strings.TrimSpace(alg)
 		c := cfg
 		c.Algorithm = alg
-		results, err := core.Sweep(c, loads)
+		results, err := core.SweepObserved(c, loads, runtime.GOMAXPROCS(0), onDone)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", alg, err)
 			os.Exit(1)
@@ -94,8 +121,37 @@ func main() {
 				fmt.Printf("%-8s %-10s %8.2f %10.1f %10.1f %10.4f %8s\n",
 					r.Algorithm, r.Pattern, r.OfferedLoad, r.AvgLatency, r.LatencyBound, r.Throughput, state)
 			}
+			if *metrics && r.Telemetry != nil {
+				top := r.Telemetry.BusiestChannels(1)[0]
+				note("# %s rho=%.2f: max ch util %.1f%% (ch %d), head-blocked %d, inj backlog mean %.2f, drops %d\n",
+					r.Algorithm, r.OfferedLoad, 100*r.Telemetry.ChannelUtilization(top), top,
+					r.Telemetry.TotalHeadBlocked(), r.Telemetry.InjQueueMean, r.Telemetry.Drops)
+			}
+			if *tracePrefix != "" {
+				path := fmt.Sprintf("%s-%s-%.2f.json", *tracePrefix, r.Algorithm, r.OfferedLoad)
+				if err := writeChromeTrace(path, r.TraceEvents); err != nil {
+					fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+					os.Exit(1)
+				}
+			}
 		}
 		peak, at := core.PeakThroughput(results)
-		fmt.Fprintf(os.Stderr, "# %s peak throughput %.3f at offered %.2f\n", alg, peak, at)
+		note("# %s peak throughput %.3f at offered %.2f\n", alg, peak, at)
 	}
+	if prog != nil {
+		prog.Finish()
+	}
+}
+
+// writeChromeTrace writes one point's lifecycle trace for chrome://tracing.
+func writeChromeTrace(path string, evs []telemetry.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := telemetry.WriteChromeTrace(f, evs); err != nil {
+		return err
+	}
+	return f.Close()
 }

@@ -15,11 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"wormsim/internal/analysis"
 	"wormsim/internal/core"
 	"wormsim/internal/routing"
+	"wormsim/internal/telemetry"
+	"wormsim/internal/topology"
 	"wormsim/internal/viz"
 )
 
@@ -44,6 +47,11 @@ func main() {
 	flag.Int64Var(&cfg.SampleCycles, "sample", 0, "cycles per sampling period (default 2000)")
 	flag.IntVar(&cfg.MaxSamples, "maxsamples", 0, "maximum sampling periods (default 12)")
 	verbose := flag.Bool("v", false, "print per-hop-class latencies and VC load balance")
+	metrics := flag.Bool("metrics", false, "collect and print telemetry: per-channel utilization, head-blocked cycles, VC occupancy")
+	tracePath := flag.String("trace", "", "write a worm lifecycle trace to this file (Chrome trace_event JSON for chrome://tracing)")
+	traceFormat := flag.String("traceformat", "chrome", "trace file format: chrome or jsonl")
+	traceSample := flag.Int64("tracesample", 1, "trace every Nth worm")
+	progress := flag.Bool("progress", false, "live per-sample progress with ETA on stderr")
 	configPath := flag.String("config", "", "JSON config file (explicit flags still override)")
 	saveConfig := flag.String("saveconfig", "", "write the effective config to this JSON file and exit")
 	flag.Parse()
@@ -104,6 +112,19 @@ func main() {
 			cfg.OfferedLoad = flagged.OfferedLoad // the -load default
 		}
 	}
+	// Telemetry flags augment whatever the config file requested.
+	if *metrics || *tracePath != "" {
+		opts := telemetry.Options{}
+		if cfg.Telemetry != nil {
+			opts = *cfg.Telemetry
+		}
+		opts.Metrics = opts.Metrics || *metrics
+		opts.Trace = opts.Trace || *tracePath != ""
+		if *traceSample > 1 {
+			opts.SampleEvery = *traceSample
+		}
+		cfg.Telemetry = &opts
+	}
 	if *saveConfig != "" {
 		if err := cfg.Save(*saveConfig); err != nil {
 			fmt.Fprintf(os.Stderr, "wormsim: %v\n", err)
@@ -112,8 +133,20 @@ func main() {
 		fmt.Printf("wrote %s\n", *saveConfig)
 		return
 	}
+	var prog *telemetry.Progress
+	if *progress {
+		eff := cfg
+		eff.ApplyDefaults()
+		prog = telemetry.NewProgress(os.Stderr, "sample", eff.MaxSamples)
+		cfg.OnSample = func(ev core.SampleEvent) {
+			prog.Step(fmt.Sprintf("lat=%.1f+-%.1f", ev.Mean, ev.Bound))
+		}
+	}
 
 	res, err := core.Run(cfg)
+	if prog != nil {
+		prog.Finish()
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wormsim: %v\n", err)
 		if !res.Deadlocked {
@@ -158,7 +191,81 @@ func main() {
 			}
 		}
 	}
+	if *metrics || (cfg.Telemetry != nil && cfg.Telemetry.Metrics) {
+		if res.Telemetry == nil {
+			fmt.Fprintln(os.Stderr, "wormsim: -metrics: no telemetry collected (saf switching has no flit-level channels)")
+		} else {
+			printTelemetry(cfg.Grid(), res.Telemetry)
+		}
+	}
+	if *tracePath != "" {
+		if werr := writeTrace(*tracePath, *traceFormat, res.TraceEvents); werr != nil {
+			fmt.Fprintf(os.Stderr, "wormsim: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s (%s format)\n", len(res.TraceEvents), *tracePath, *traceFormat)
+	}
 	if res.Deadlocked {
 		os.Exit(2)
 	}
+}
+
+// printTelemetry renders the metrics registry: the busiest physical channels
+// with their endpoints (the view that makes a hotspot's saturating channels
+// obvious), head-blocked cycles per routing class, the per-class
+// virtual-channel occupancy gauges and the injection backlog.
+func printTelemetry(g *topology.Grid, s *telemetry.Summary) {
+	fmt.Printf("\ntelemetry (%d cycles observed):\n", s.Cycles)
+	fmt.Println("  busiest physical channels (busy cycles / observed cycles):")
+	for _, ch := range s.BusiestChannels(10) {
+		up, dim, dir := g.ChannelInfo(ch)
+		down := "edge"
+		if d := g.Neighbor(up, dim, dir); d >= 0 {
+			down = nodeName(g, d)
+		}
+		fmt.Printf("    ch %4d  %s d%d%v -> %-8s %6.1f%%\n",
+			ch, nodeName(g, up), dim, dir, down, 100*s.ChannelUtilization(ch))
+	}
+	if hb := s.TotalHeadBlocked(); hb > 0 {
+		fmt.Printf("  head-blocked cycles by routing class: %v (total %d)\n", s.HeadBlockedByClass, hb)
+	}
+	for i := range s.VCOccupancyMean {
+		fmt.Printf("  vc occupancy class %d: mean %.1f, max %.0f\n", i, s.VCOccupancyMean[i], s.VCOccupancyMax[i])
+	}
+	fmt.Printf("  injection backlog: mean %.2f, max %.0f messages\n", s.InjQueueMean, s.InjQueueMax)
+	fmt.Printf("  congestion drops: %d\n", s.Drops)
+	if s.TraceEvents > 0 || s.TraceEvicted > 0 {
+		fmt.Printf("  trace: %d events retained, %d evicted\n", s.TraceEvents, s.TraceEvicted)
+	}
+}
+
+// nodeName renders a node as its coordinate tuple, e.g. "(3,3)".
+func nodeName(g *topology.Grid, id int) string {
+	c := g.Coords(id, make([]int, g.N()))
+	parts := make([]string, len(c))
+	for i, v := range c {
+		parts[i] = strconv.Itoa(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// writeTrace exports the lifecycle trace in the requested format.
+func writeTrace(path, format string, evs []telemetry.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "chrome":
+		err = telemetry.WriteChromeTrace(f, evs)
+	case "jsonl":
+		err = telemetry.WriteJSONL(f, evs)
+	default:
+		err = fmt.Errorf("unknown trace format %q (want chrome or jsonl)", format)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }

@@ -14,6 +14,9 @@ type Limiter struct {
 	counts   []map[int]int
 	accepted int64
 	dropped  int64
+	// droppedBy localizes discards per source node, the observable that
+	// shows hotspot backpressure reaching the edge of the network.
+	droppedBy []int64
 }
 
 // NewLimiter returns a limiter for nodes sources with the given per-class
@@ -22,7 +25,7 @@ func NewLimiter(nodes, limit int) *Limiter {
 	if limit <= 0 {
 		return nil
 	}
-	l := &Limiter{limit: limit, counts: make([]map[int]int, nodes)}
+	l := &Limiter{limit: limit, counts: make([]map[int]int, nodes), droppedBy: make([]int64, nodes)}
 	for i := range l.counts {
 		l.counts[i] = make(map[int]int)
 	}
@@ -45,6 +48,7 @@ func (l *Limiter) Admit(node, class int) bool {
 	}
 	if l.counts[node][class] >= l.limit {
 		l.dropped++
+		l.droppedBy[node]++
 		return false
 	}
 	l.counts[node][class]++
@@ -90,6 +94,15 @@ func (l *Limiter) Dropped() int64 {
 	return l.dropped
 }
 
+// DroppedByNode returns per-source-node discard counts (nil for a nil
+// limiter). The returned slice is a copy.
+func (l *Limiter) DroppedByNode() []int64 {
+	if l == nil {
+		return nil
+	}
+	return append([]int64(nil), l.droppedBy...)
+}
+
 // ResetCounters zeroes the accepted/dropped statistics (kept across
 // sampling periods only if the caller wants cumulative numbers).
 func (l *Limiter) ResetCounters() {
@@ -97,4 +110,7 @@ func (l *Limiter) ResetCounters() {
 		return
 	}
 	l.accepted, l.dropped = 0, 0
+	for i := range l.droppedBy {
+		l.droppedBy[i] = 0
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"wormsim/internal/routing"
 	"wormsim/internal/saf"
 	"wormsim/internal/stats"
+	"wormsim/internal/telemetry"
 	"wormsim/internal/traffic"
 )
 
@@ -30,6 +31,11 @@ type BatchResult struct {
 	MaxLatency  float64
 	// FlitMoves is the total channel traffic.
 	FlitMoves int64
+	// Telemetry aggregates the run's collector when Config.Telemetry was
+	// set (wormhole/vct only).
+	Telemetry *telemetry.Summary `json:",omitempty"`
+	// TraceEvents is the retained lifecycle trace, kept out of JSON.
+	TraceEvents []telemetry.Event `json:"-"`
 }
 
 // String renders a one-line summary.
@@ -67,11 +73,15 @@ func RunBatch(cfg Config, wl traffic.Workload, lastArrival int64, drainBudget in
 	}
 	switch cfg.Switching {
 	case Wormhole, CutThrough:
+		var tel *telemetry.Collector
+		if cfg.Telemetry != nil {
+			tel = telemetry.New(*cfg.Telemetry, g.ChannelSlots(), alg.NumVCs(g))
+		}
 		n, err := network.New(network.Config{
 			Grid: g, Algorithm: alg, Policy: policy, Workload: wl,
 			MsgLen: cfg.MsgLen, BufDepth: cfg.BufDepth, CCLimit: cfg.CCLimit,
 			InjectionPorts: cfg.InjectionPorts,
-			Seed:           cfg.Seed, OnDeliver: onDeliver,
+			Seed:           cfg.Seed, OnDeliver: onDeliver, Telemetry: tel,
 		})
 		if err != nil {
 			return res, err
@@ -84,6 +94,10 @@ func RunBatch(cfg Config, wl traffic.Workload, lastArrival int64, drainBudget in
 		}
 		t := n.Total()
 		res.Delivered, res.Dropped, res.FlitMoves = t.Delivered, t.Dropped, t.FlitMoves
+		if tel != nil {
+			res.Telemetry = tel.Summary()
+			res.TraceEvents = tel.Events()
+		}
 	case StoreFwd:
 		n, err := saf.New(saf.Config{
 			Grid: g, Algorithm: alg, Policy: policy, Workload: wl,

@@ -3,7 +3,10 @@ package core
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
+
+	"wormsim/internal/telemetry"
 )
 
 func TestConfigRoundTrip(t *testing.T) {
@@ -17,6 +20,7 @@ func TestConfigRoundTrip(t *testing.T) {
 		CCLimit:     3,
 		RouteDelay:  1,
 		Seed:        99,
+		Telemetry:   &telemetry.Options{Metrics: true, Trace: true, TraceCap: 1024},
 	}
 	if err := orig.Save(path); err != nil {
 		t.Fatal(err)
@@ -25,7 +29,7 @@ func TestConfigRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != orig {
+	if !reflect.DeepEqual(got, orig) {
 		t.Errorf("round trip changed the config:\n got %+v\nwant %+v", got, orig)
 	}
 }

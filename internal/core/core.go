@@ -16,6 +16,7 @@ import (
 	"wormsim/internal/routing"
 	"wormsim/internal/saf"
 	"wormsim/internal/stats"
+	"wormsim/internal/telemetry"
 	"wormsim/internal/topology"
 	"wormsim/internal/traffic"
 )
@@ -86,6 +87,30 @@ type Config struct {
 	// Tolerance is the relative error bound of both convergence criteria
 	// (default 0.05).
 	Tolerance float64
+
+	// Telemetry, when set, attaches a metrics/trace collector to the run and
+	// fills Result.Telemetry / Result.TraceEvents (wormhole and vct engines
+	// only; the saf engine has no flit-level channels to meter). Each Run
+	// builds its own collector from these options, so a shared Config stays
+	// safe for parallel sweeps.
+	Telemetry *telemetry.Options `json:",omitempty"`
+	// OnSample, if set, is called after every completed sampling period —
+	// the live-progress hook behind the CLIs' -progress flag. Not part of
+	// the persisted config.
+	OnSample func(SampleEvent) `json:"-"`
+}
+
+// SampleEvent reports one completed sampling period to Config.OnSample.
+type SampleEvent struct {
+	// Sample counts completed periods; MaxSamples is the configured cap.
+	Sample     int
+	MaxSamples int
+	// Mean and Bound are the period's stratified latency estimate and its
+	// 95% error bound, in cycles.
+	Mean  float64
+	Bound float64
+	// Done reports that the convergence rule terminated the run here.
+	Done bool
 }
 
 // ApplyDefaults fills unset fields with the paper's defaults.
@@ -212,6 +237,14 @@ type Result struct {
 	// (wormhole/vct only); feed it to analysis.ChannelBalance or
 	// viz.ChannelHeatmap.
 	ChannelFlits []int64 `json:",omitempty"`
+
+	// Telemetry aggregates the run's collector when Config.Telemetry was
+	// set: per-channel utilization, head-blocked cycles, occupancy gauges.
+	Telemetry *telemetry.Summary `json:",omitempty"`
+	// TraceEvents is the retained lifecycle trace (Config.Telemetry.Trace);
+	// kept out of JSON — export with telemetry.WriteChromeTrace or
+	// telemetry.WriteJSONL.
+	TraceEvents []telemetry.Event `json:"-"`
 }
 
 // String renders a one-line summary.
@@ -304,13 +337,17 @@ func Run(cfg Config) (Result, error) {
 	var st stepper
 	var wn *network.Network
 	var sn *saf.Network
+	var tel *telemetry.Collector
+	if cfg.Telemetry != nil && cfg.Switching != StoreFwd {
+		tel = telemetry.New(*cfg.Telemetry, g.ChannelSlots(), alg.NumVCs(g))
+	}
 	switch cfg.Switching {
 	case Wormhole, CutThrough:
 		wn, err = network.New(network.Config{
 			Grid: g, Algorithm: alg, Policy: policy, Workload: wl,
 			MsgLen: cfg.MsgLen, BufDepth: cfg.BufDepth, CCLimit: cfg.CCLimit,
 			InjectionPorts: cfg.InjectionPorts, RouteDelay: cfg.RouteDelay,
-			Seed: cfg.Seed, OnDeliver: onDeliver,
+			Seed: cfg.Seed, OnDeliver: onDeliver, Telemetry: tel,
 		})
 		if err != nil {
 			return res, err
@@ -376,6 +413,10 @@ func Run(cfg Config) (Result, error) {
 			res.LatencyP50, res.LatencyP95, res.LatencyP99 = q[0], q[1], q[2]
 			res.LatencyMax = latHist.Max()
 		}
+		if tel != nil {
+			res.Telemetry = tel.Summary()
+			res.TraceEvents = tel.Events()
+		}
 	}
 
 	if err := runFor(cfg.WarmupCycles); err != nil {
@@ -399,6 +440,12 @@ func Run(cfg Config) (Result, error) {
 		conv.Record(sample.Mean())
 		lastBound = sample.ErrorBound()
 		done := conv.Done(sample)
+		if cfg.OnSample != nil {
+			cfg.OnSample(SampleEvent{
+				Sample: conv.Samples(), MaxSamples: cfg.MaxSamples,
+				Mean: sample.Mean(), Bound: lastBound, Done: done,
+			})
+		}
 		sample = nil
 		if done {
 			res.Converged = conv.Samples() < cfg.MaxSamples
@@ -453,6 +500,14 @@ func Sweep(cfg Config, loads []float64) ([]Result, error) {
 
 // SweepN is Sweep with an explicit worker count (minimum 1).
 func SweepN(cfg Config, loads []float64, workers int) ([]Result, error) {
+	return SweepObserved(cfg, loads, workers, nil)
+}
+
+// SweepObserved is SweepN with a completion callback: onDone is invoked once
+// per finished point with its load index and result, from the finishing
+// worker's goroutine (the callback must be safe for concurrent use —
+// telemetry.Progress is). It backs the CLIs' -progress flag.
+func SweepObserved(cfg Config, loads []float64, workers int, onDone func(i int, r Result)) ([]Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -474,6 +529,9 @@ func SweepN(cfg Config, loads []float64, workers int) ([]Result, error) {
 				results[i] = r
 				if err != nil && !r.Deadlocked {
 					errs[i] = fmt.Errorf("core: sweep at rho=%.3g: %w", loads[i], err)
+				}
+				if onDone != nil {
+					onDone(i, r)
 				}
 			}
 		}()

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"wormsim/internal/telemetry"
+)
+
+// quickTelCfg is a small fast configuration with telemetry on.
+func quickTelCfg() Config {
+	return Config{
+		K: 8, N: 2, Algorithm: "nbc", Pattern: "uniform", OfferedLoad: 0.5,
+		Seed: 3, WarmupCycles: 500, SampleCycles: 500, GapCycles: 100, MaxSamples: 3,
+		Telemetry: &telemetry.Options{Metrics: true, Trace: true},
+	}
+}
+
+func TestRunFillsTelemetry(t *testing.T) {
+	var samples int32
+	cfg := quickTelCfg()
+	cfg.OnSample = func(ev SampleEvent) {
+		atomic.AddInt32(&samples, 1)
+		if ev.Sample <= 0 || ev.MaxSamples != cfg.MaxSamples || ev.Mean <= 0 {
+			t.Errorf("bad sample event %+v", ev)
+		}
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry == nil {
+		t.Fatal("Result.Telemetry not filled")
+	}
+	if got, want := int(atomic.LoadInt32(&samples)), res.Samples; got != want {
+		t.Errorf("OnSample called %d times, %d samples taken", got, want)
+	}
+	s := res.Telemetry
+	if s.Cycles == 0 || len(s.ChannelBusy) == 0 {
+		t.Errorf("empty summary %+v", s)
+	}
+	if len(res.TraceEvents) == 0 {
+		t.Error("no trace events retained")
+	}
+	if s.TotalHeadBlocked() == 0 {
+		t.Error("no head-blocked cycles at 0.5 offered load")
+	}
+	// The summary's busy counts are the engine's channel flit counts.
+	for ch, b := range s.ChannelBusy {
+		if b != res.ChannelFlits[ch] {
+			t.Fatalf("channel %d: telemetry busy %d != ChannelFlits %d", ch, b, res.ChannelFlits[ch])
+		}
+	}
+}
+
+// TestHotspotSaturatesHotChannels is the acceptance scenario: under hotspot
+// traffic the channels into the hot node must top the utilization ranking.
+func TestHotspotSaturatesHotChannels(t *testing.T) {
+	cfg := quickTelCfg()
+	hot := 27 // node (3,3) on the 8x8 torus
+	cfg.Pattern = "hotspot:0.2:27"
+	cfg.OfferedLoad = 0.6
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Grid()
+	top := res.Telemetry.BusiestChannels(4)
+	into := 0
+	for _, ch := range top {
+		up, dim, dir := g.ChannelInfo(ch)
+		if g.Neighbor(up, dim, dir) == hot {
+			into++
+		}
+	}
+	if into < 3 {
+		t.Errorf("only %d of the top-4 busiest channels feed the hot node %d (top: %v)", into, hot, top)
+	}
+}
+
+func TestRunBatchFillsTelemetry(t *testing.T) {
+	cfg := Config{K: 8, N: 2, Algorithm: "ecube", Seed: 5,
+		Telemetry: &telemetry.Options{Metrics: true, Trace: true}}
+	cfg.ApplyDefaults()
+	wl, err := PermutationBurst(cfg, "transpose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBatch(cfg, wl, 0, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry == nil || res.Telemetry.Cycles == 0 {
+		t.Fatalf("batch telemetry missing: %+v", res.Telemetry)
+	}
+	if len(res.TraceEvents) == 0 {
+		t.Error("batch trace empty")
+	}
+}
+
+func TestSweepObservedCallback(t *testing.T) {
+	cfg := quickTelCfg()
+	cfg.Telemetry = nil
+	loads := []float64{0.1, 0.3, 0.5}
+	var done int32
+	results, err := SweepObserved(cfg, loads, 2, func(i int, r Result) {
+		atomic.AddInt32(&done, 1)
+		if r.OfferedLoad != loads[i] {
+			t.Errorf("callback index %d got load %g", i, r.OfferedLoad)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(done) != len(loads) || len(results) != len(loads) {
+		t.Errorf("callback fired %d times for %d loads", done, len(loads))
+	}
+}
+
+// TestSafIgnoresTelemetry: the saf engine has no flit channels; a telemetry
+// request must not break it.
+func TestSafIgnoresTelemetry(t *testing.T) {
+	cfg := quickTelCfg()
+	cfg.Algorithm = "phop"
+	cfg.Switching = StoreFwd
+	cfg.OfferedLoad = 0.2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry != nil {
+		t.Error("saf run filled Telemetry")
+	}
+}

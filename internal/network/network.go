@@ -33,12 +33,14 @@ package network
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"wormsim/internal/congestion"
 	"wormsim/internal/message"
 	"wormsim/internal/rng"
 	"wormsim/internal/routing"
+	"wormsim/internal/telemetry"
 	"wormsim/internal/topology"
 	"wormsim/internal/traffic"
 )
@@ -94,6 +96,11 @@ type Config struct {
 	// into the given node over (dim, dir) — a flight recorder for path
 	// verification and visualization.
 	OnHeaderHop func(m *message.Message, node int, dim int, dir topology.Dir)
+	// Telemetry, if set, receives per-cycle metrics and sampled worm
+	// lifecycle events. It must be sized for this network (telemetry.New
+	// with the grid's channel slots and the algorithm's NumVCs). nil
+	// disables collection at near-zero cost: every hook is a nil check.
+	Telemetry *telemetry.Collector
 }
 
 // vc is the state of one input virtual-channel buffer (or injection slot).
@@ -164,6 +171,7 @@ type Network struct {
 	numVCs  int
 	limiter *congestion.Limiter
 	rt      *rng.Stream
+	tel     *telemetry.Collector
 
 	now        int64
 	nextMsgID  int64
@@ -232,8 +240,15 @@ func New(cfg Config) (*Network, error) {
 		numVCs:  cfg.Algorithm.NumVCs(g),
 		limiter: congestion.NewLimiter(g.Nodes(), cfg.CCLimit),
 		rt:      rng.NewStream(cfg.Seed, 0x90f7),
+		tel:     cfg.Telemetry,
 	}
 	slots := g.ChannelSlots()
+	if n.tel != nil {
+		if chs, classes := n.tel.Dims(); chs != slots || classes != n.numVCs {
+			return nil, fmt.Errorf("network: telemetry collector sized for %d channels / %d classes, need %d / %d",
+				chs, classes, slots, n.numVCs)
+		}
+	}
 	n.vcs = make([]vc, slots*n.numVCs)
 	for ch := 0; ch < slots; ch++ {
 		up, dim, dir := g.ChannelInfo(ch)
@@ -300,6 +315,10 @@ type DeadlockError struct {
 	Cycle    int64
 	InFlight int
 	Detail   string
+	// Trace holds the most recent lifecycle events when telemetry tracing
+	// was enabled — the flight recorder of the cycles leading into the
+	// stall (also rendered into Detail).
+	Trace []telemetry.Event
 }
 
 // Error describes the deadlock.
@@ -324,8 +343,22 @@ func (n *Network) Step() error {
 	n.now++
 	n.window.Cycles++
 	n.total.Cycles++
+	if n.tel != nil {
+		n.tel.EndCycle()
+	}
 	if n.cfg.WatchdogCycles > 0 && n.inFlight > 0 && n.now-n.lastMotion > n.cfg.WatchdogCycles {
-		return &DeadlockError{Cycle: n.now - n.lastMotion, InFlight: n.inFlight, Detail: n.describeStuck(8)}
+		err := &DeadlockError{Cycle: n.now - n.lastMotion, InFlight: n.inFlight, Detail: n.describeStuck(8)}
+		if n.tel.Tracing() {
+			for i, w := range n.WormStates() {
+				if i >= 8 {
+					break
+				}
+				n.tel.Kill(n.now, w.ID, w.HeadNode)
+			}
+			err.Trace = n.tel.LastEvents(32)
+			err.Detail += "last trace events:\n" + telemetry.FormatEvents(err.Trace)
+		}
+		return err
 	}
 	return nil
 }
@@ -353,6 +386,9 @@ func (n *Network) inject() {
 		if !n.limiter.Admit(a.Src, m.Class) {
 			n.window.Dropped++
 			n.total.Dropped++
+			if n.tel != nil {
+				n.tel.Drop(n.now, m.ID, a.Src, a.Dst)
+			}
 			continue
 		}
 		n.window.Admitted++
@@ -360,6 +396,10 @@ func (n *Network) inject() {
 		n.inFlight++
 		s := &vc{msg: m, node: a.Src, ch: -1, flits: m.Len}
 		n.addActive(s)
+		if n.tel != nil {
+			n.tel.Inject(n.now, m.ID, a.Src, a.Dst)
+			n.tel.InjEnqueue()
+		}
 	}
 }
 
@@ -400,18 +440,21 @@ func (n *Network) allocate() {
 		if s.ch == -1 && n.cfg.InjectionPorts > 0 && int(n.injecting[s.node]) >= n.cfg.InjectionPorts {
 			continue // all injection ports busy; wait for one to free up
 		}
-		n.route(s)
+		if !n.route(s) && n.tel != nil {
+			n.tel.HeadBlocked(s.msg.Class)
+		}
 	}
 }
 
-// route attempts virtual-channel allocation for the header in s.
-func (n *Network) route(s *vc) {
+// route attempts virtual-channel allocation for the header in s and reports
+// whether the header is routed afterwards.
+func (n *Network) route(s *vc) bool {
 	m := s.msg
 	node := s.node
 	if m.Dst == node {
 		s.routed = true
 		s.outCh = -1
-		return
+		return true
 	}
 	n.cands = n.alg.Candidates(n.g, m, node, n.cands[:0])
 	n.freeCands = n.freeCands[:0]
@@ -429,7 +472,7 @@ func (n *Network) route(s *vc) {
 		n.freeScores = append(n.freeScores, int(n.owners[ch]))
 	}
 	if len(n.freeCands) == 0 {
-		return
+		return false
 	}
 	pick := n.policy.Select(n.freeCands, n.freeScores, n.rt)
 	c := n.freeCands[pick]
@@ -451,6 +494,11 @@ func (n *Network) route(s *vc) {
 		n.injecting[s.node]++
 	}
 	n.alg.Allocated(n.g, m, node, c)
+	if n.tel != nil {
+		n.tel.VCAlloc(n.now, m.ID, node, ch, c.VC)
+		n.tel.VCAcquired(c.VC)
+	}
+	return true
 }
 
 // transfer performs channel arbitration and moves at most one flit per
@@ -546,6 +594,9 @@ func (n *Network) applyMove(s *vc) {
 	n.window.FlitMovesByClass[s.outVC]++
 	n.total.FlitMovesByClass[s.outVC]++
 	n.flitsByChannel[s.outCh]++
+	if n.tel != nil {
+		n.tel.FlitMove(s.outCh)
+	}
 	if t.recvd == 1 {
 		// Header hop completed: update the message's routing state from the
 		// upstream node's viewpoint.
@@ -555,14 +606,23 @@ func (n *Network) applyMove(s *vc) {
 		if n.cfg.OnHeaderHop != nil {
 			n.cfg.OnHeaderHop(m, t.node, dim, dir)
 		}
+		if n.tel != nil {
+			n.tel.Hop(n.now, m.ID, t.node, s.outCh, s.outVC)
+		}
 	}
 	if s.sent == m.Len {
 		// Tail has left this buffer: release it.
 		if s.ch == -1 {
 			n.limiter.Release(s.node, m.Class)
 			n.injecting[s.node]--
+			if n.tel != nil {
+				n.tel.InjDequeue()
+			}
 		} else {
 			n.owners[s.ch]--
+			if n.tel != nil {
+				n.tel.VCReleased(s.class)
+			}
 		}
 		n.removeActive(s)
 		s.msg = nil
@@ -591,6 +651,10 @@ func (n *Network) eject() {
 			n.inFlight--
 			n.window.Delivered++
 			n.total.Delivered++
+			if n.tel != nil {
+				n.tel.VCReleased(s.class)
+				n.tel.Deliver(n.now, m.ID, m.Dst)
+			}
 			if n.cfg.OnDeliver != nil {
 				n.cfg.OnDeliver(m)
 			}
@@ -647,25 +711,73 @@ func (n *Network) OccupiedVCsByClass() []int {
 	return counts
 }
 
-// describeStuck renders up to limit stuck worms for deadlock diagnostics.
-func (n *Network) describeStuck(limit int) string {
-	var b strings.Builder
-	seen := map[int64]bool{}
+// WormStates returns the canonical in-flight state: one telemetry.WormState
+// per live worm, sorted by message ID, with each worm's held buffers ordered
+// injection slot first and then upstream to downstream. Snapshot, the
+// deadlock report and external tooling all render from this single model, so
+// a worm whose *message.Message is shared across several virtual channels
+// appears exactly once, deterministically.
+func (n *Network) WormStates() []telemetry.WormState {
+	slots := map[int64][]*vc{}
+	ids := make([]int64, 0, n.inFlight)
 	for _, s := range n.active {
-		if s.msg == nil || seen[s.msg.ID] {
+		if s.msg == nil {
 			continue
 		}
-		seen[s.msg.ID] = true
-		where := "injection"
-		if s.ch >= 0 {
-			up, dim, dir := n.g.ChannelInfo(s.ch)
-			where = fmt.Sprintf("ch %d->%s d%d%s vc%d", up, nodeName(n.g, s.node), dim, dir, s.class)
+		if _, ok := slots[s.msg.ID]; !ok {
+			ids = append(ids, s.msg.ID)
 		}
-		fmt.Fprintf(&b, "  %v at %s routed=%v flits=%d\n", s.msg, where, s.routed, s.flits)
-		if len(seen) >= limit {
-			fmt.Fprintf(&b, "  ... and more\n")
+		slots[s.msg.ID] = append(slots[s.msg.ID], s)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	states := make([]telemetry.WormState, 0, len(ids))
+	for _, id := range ids {
+		held := slots[id]
+		// Injection slot first, then upstream to downstream: lifetime
+		// received-flit counts are non-increasing along a worm's channel
+		// chain (a buffer cannot receive more than its upstream forwarded),
+		// with the channel index as a deterministic tie-break.
+		sort.Slice(held, func(i, j int) bool {
+			a, b := held[i], held[j]
+			if (a.ch == -1) != (b.ch == -1) {
+				return a.ch == -1
+			}
+			if a.recvd != b.recvd {
+				return a.recvd > b.recvd
+			}
+			return a.ch < b.ch
+		})
+		m := held[0].msg
+		w := telemetry.WormState{
+			ID: m.ID, Src: m.Src, Dst: m.Dst, Len: m.Len,
+			HopsTaken: m.HopsTaken, HopsTotal: m.HopsTotal,
+			Holding: make([]telemetry.VCHold, len(held)),
+		}
+		for i, s := range held {
+			w.Holding[i] = telemetry.VCHold{Ch: s.ch, Class: s.class, Node: s.node, Flits: s.flits}
+			// The header sits in the buffer that has forwarded nothing yet:
+			// the injection slot before the first hop, or the deepest buffer
+			// that has received at least one flit.
+			if s.sent == 0 && (s.recvd > 0 || s.ch == -1) {
+				w.Routed = s.routed
+				w.HeadNode = s.node
+			}
+		}
+		states = append(states, w)
+	}
+	return states
+}
+
+// describeStuck renders up to limit stuck worms for deadlock diagnostics.
+func (n *Network) describeStuck(limit int) string {
+	states := n.WormStates()
+	var b strings.Builder
+	for i, w := range states {
+		if i >= limit {
+			fmt.Fprintf(&b, "  ... and %d more\n", len(states)-limit)
 			break
 		}
+		fmt.Fprintf(&b, "  %v head at %s\n", w, nodeName(n.g, w.HeadNode))
 	}
 	return b.String()
 }

@@ -2,44 +2,22 @@ package network
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
 // Snapshot renders a human-readable dump of the current network state: one
-// line per in-flight worm with its position, stretch and progress. It is a
-// debugging aid (the deadlock watchdog uses a truncated form).
+// line per in-flight worm with its position, held virtual channels and
+// buffered flits. It is a thin rendering of WormStates — the same in-flight
+// model behind the deadlock watchdog's report — so every consumer of
+// "what is in the network right now" agrees, and the listing is
+// deterministic (worms sorted by ID, buffers upstream to downstream) even
+// when one message occupies many virtual channels.
 func (n *Network) Snapshot() string {
-	type wormView struct {
-		id      int64
-		desc    string
-		holding int
-		flits   int
-	}
-	worms := map[int64]*wormView{}
-	for _, s := range n.active {
-		if s.msg == nil {
-			continue
-		}
-		w, ok := worms[s.msg.ID]
-		if !ok {
-			w = &wormView{id: s.msg.ID, desc: s.msg.String()}
-			worms[s.msg.ID] = w
-		}
-		if s.ch >= 0 {
-			w.holding++
-		}
-		w.flits += s.flits
-	}
-	views := make([]*wormView, 0, len(worms))
-	for _, w := range worms {
-		views = append(views, w)
-	}
-	sort.Slice(views, func(i, j int) bool { return views[i].id < views[j].id })
+	states := n.WormStates()
 	var b strings.Builder
 	fmt.Fprintf(&b, "cycle %d: %d worms in flight, %d VC buffers live\n", n.now, n.inFlight, len(n.active))
-	for _, w := range views {
-		fmt.Fprintf(&b, "  %s: holds %d VCs, %d flits buffered in-network\n", w.desc, w.holding, w.flits)
+	for _, w := range states {
+		fmt.Fprintf(&b, "  %v head at %s\n", w, nodeName(n.g, w.HeadNode))
 	}
 	return b.String()
 }

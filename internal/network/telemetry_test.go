@@ -1,0 +1,208 @@
+package network
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wormsim/internal/routing"
+	"wormsim/internal/telemetry"
+	"wormsim/internal/topology"
+	"wormsim/internal/traffic"
+)
+
+// telNet builds an 8x8 torus with a collector attached.
+func telNet(t *testing.T, opts telemetry.Options, rate float64) (*Network, *telemetry.Collector) {
+	t.Helper()
+	g := topology.NewTorus(8, 2)
+	alg, err := routing.Get("nbc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := traffic.NewBernoulli(g, traffic.NewUniform(g), rate, 7)
+	tel := telemetry.New(opts, g.ChannelSlots(), alg.NumVCs(g))
+	n, err := New(Config{Grid: g, Algorithm: alg, Workload: wl, MsgLen: 8, CCLimit: 2, Seed: 7, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, tel
+}
+
+// TestTelemetryMetricsConsistency cross-checks the collector against the
+// engine's own counters after a loaded run.
+func TestTelemetryMetricsConsistency(t *testing.T) {
+	n, tel := telNet(t, telemetry.Options{Metrics: true, Trace: true}, 0.05)
+	if err := n.Run(2000); err != nil {
+		t.Fatal(err)
+	}
+	s := tel.Summary()
+	if s.Cycles != n.Now() {
+		t.Errorf("telemetry cycles %d != network cycles %d", s.Cycles, n.Now())
+	}
+	total := n.Total()
+	if s.Drops != total.Dropped {
+		t.Errorf("telemetry drops %d != counter drops %d", s.Drops, total.Dropped)
+	}
+	var busy int64
+	for ch, b := range s.ChannelBusy {
+		busy += b
+		if got := n.ChannelFlitCounts()[ch]; got != b {
+			t.Fatalf("channel %d: busy %d != flit count %d", ch, b, got)
+		}
+	}
+	if busy != total.FlitMoves {
+		t.Errorf("busy cycles %d != flit moves %d", busy, total.FlitMoves)
+	}
+	if s.TotalHeadBlocked() == 0 {
+		t.Error("no head-blocked cycles recorded at a contended load")
+	}
+	if s.InjQueueMax == 0 {
+		t.Error("injection queue gauge never observed a waiting message")
+	}
+
+	// Lifecycle accounting: every admitted worm has an inject event, every
+	// delivered one a deliver event (SampleEvery=1, ring big enough).
+	counts := map[telemetry.EventType]int64{}
+	lastCycle := map[int64]int64{}
+	hops := map[int64]int{}
+	for _, e := range tel.Events() {
+		counts[e.Type]++
+		if prev, ok := lastCycle[e.Msg]; ok && e.Cycle < prev {
+			t.Fatalf("msg %d: event cycle %d before %d", e.Msg, e.Cycle, prev)
+		}
+		lastCycle[e.Msg] = e.Cycle
+		if e.Type == telemetry.EvHop {
+			hops[e.Msg]++
+		}
+	}
+	if counts[telemetry.EvInject] != total.Admitted {
+		t.Errorf("inject events %d != admitted %d", counts[telemetry.EvInject], total.Admitted)
+	}
+	if counts[telemetry.EvDrop] != total.Dropped {
+		t.Errorf("drop events %d != dropped %d", counts[telemetry.EvDrop], total.Dropped)
+	}
+	if counts[telemetry.EvDeliver] != total.Delivered {
+		t.Errorf("deliver events %d != delivered %d", counts[telemetry.EvDeliver], total.Delivered)
+	}
+	if counts[telemetry.EvVCAlloc] == 0 || counts[telemetry.EvHop] == 0 {
+		t.Errorf("missing alloc/hop events: %v", counts)
+	}
+}
+
+// TestTelemetryDoesNotPerturb: attaching a collector must not change the
+// simulated history (no RNG draws, no scheduling effects).
+func TestTelemetryDoesNotPerturb(t *testing.T) {
+	run := func(attach bool) Counters {
+		g := topology.NewTorus(8, 2)
+		alg, _ := routing.Get("nbc")
+		wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.04, 11)
+		cfg := Config{Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, CCLimit: 2, Seed: 11}
+		if attach {
+			cfg.Telemetry = telemetry.New(telemetry.Options{Trace: true}, g.ChannelSlots(), alg.NumVCs(g))
+		}
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Run(2500); err != nil {
+			t.Fatal(err)
+		}
+		c := n.Total()
+		c.FlitMovesByClass = nil
+		return c
+	}
+	with, without := run(true), run(false)
+	if !reflect.DeepEqual(with, without) {
+		t.Errorf("telemetry perturbed the run:\nwith    %+v\nwithout %+v", with, without)
+	}
+}
+
+// TestTelemetryDimsValidated: a collector sized for the wrong network is
+// rejected at construction.
+func TestTelemetryDimsValidated(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	alg, _ := routing.Get("nbc")
+	wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.01, 1)
+	tel := telemetry.New(telemetry.Options{}, 3, 1)
+	if _, err := New(Config{Grid: g, Algorithm: alg, Workload: wl, Telemetry: tel}); err == nil {
+		t.Fatal("mis-sized collector accepted")
+	}
+}
+
+// TestWatchdogAttachesTrace: when tracing is on, the deadlock report carries
+// the flight recorder's last events and kill markers.
+func TestWatchdogAttachesTrace(t *testing.T) {
+	g := topology.NewTorus(8, 1)
+	var cycles []int64
+	var arrs []traffic.Arrival
+	for src := 0; src < 8; src++ {
+		cycles = append(cycles, 0)
+		arrs = append(arrs, traffic.Arrival{Src: src, Dst: (src + 2) % 8})
+	}
+	wl := traffic.NewTrace(g, "cycle", cycles, arrs)
+	tel := telemetry.New(telemetry.Options{Trace: true}, g.ChannelSlots(), 1)
+	n, err := New(Config{
+		Grid: g, Algorithm: cyclicAlg{}, Workload: wl, MsgLen: 16,
+		BufDepth: 1, Seed: 1, WatchdogCycles: 200, Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Step(); err != nil {
+		t.Fatal(err)
+	}
+	err = n.Drain(5000)
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("expected a DeadlockError, got %v", err)
+	}
+	if len(dl.Trace) == 0 {
+		t.Fatal("deadlock error carries no trace events")
+	}
+	if !strings.Contains(dl.Detail, "last trace events:") {
+		t.Errorf("detail missing trace section:\n%s", dl.Detail)
+	}
+	kills := 0
+	for _, e := range dl.Trace {
+		if e.Type == telemetry.EvKill {
+			kills++
+		}
+	}
+	if kills == 0 {
+		t.Errorf("no watchdog-kill events in trace: %v", dl.Trace)
+	}
+}
+
+// TestWormStatesModel checks the canonical in-flight model: sorted by ID,
+// injection slot leading, buffers upstream to downstream, flits conserved.
+func TestWormStatesModel(t *testing.T) {
+	n, _ := telNet(t, telemetry.Options{}, 0.05)
+	if err := n.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	states := n.WormStates()
+	if len(states) == 0 {
+		t.Fatal("no in-flight worms after a loaded run")
+	}
+	for i := 1; i < len(states); i++ {
+		if states[i-1].ID >= states[i].ID {
+			t.Fatalf("states not sorted by ID: %d before %d", states[i-1].ID, states[i].ID)
+		}
+	}
+	for _, w := range states {
+		for i, h := range w.Holding {
+			if h.Ch == -1 && i != 0 {
+				t.Errorf("msg %d: injection slot not first: %v", w.ID, w.Holding)
+			}
+		}
+		if w.Len < w.BufferedFlits() {
+			t.Errorf("msg %d: %d flits buffered exceeds length %d", w.ID, w.BufferedFlits(), w.Len)
+		}
+	}
+	// Snapshot is a pure rendering of the same model: calling it twice gives
+	// identical text.
+	if a, b := n.Snapshot(), n.Snapshot(); a != b {
+		t.Errorf("snapshot not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

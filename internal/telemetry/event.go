@@ -1,0 +1,240 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// EventType labels one stage of a worm's lifecycle.
+type EventType uint8
+
+// The lifecycle stages, in the order a healthy worm passes through them
+// (EvDrop and EvKill are the two unhappy endings).
+const (
+	EvInject EventType = iota
+	EvDrop
+	EvVCAlloc
+	EvHop
+	EvDeliver
+	EvKill
+)
+
+// eventNames maps EventType to its wire name.
+var eventNames = [...]string{"inject", "drop", "vcalloc", "hop", "deliver", "kill"}
+
+// String returns the wire name.
+func (t EventType) String() string {
+	if int(t) < len(eventNames) {
+		return eventNames[t]
+	}
+	return fmt.Sprintf("event(%d)", int(t))
+}
+
+// MarshalJSON emits the wire name, keeping JSONL traces self-describing.
+func (t EventType) MarshalJSON() ([]byte, error) { return json.Marshal(t.String()) }
+
+// UnmarshalJSON accepts the wire name.
+func (t *EventType) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for i, n := range eventNames {
+		if n == s {
+			*t = EventType(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown event type %q", s)
+}
+
+// Event is one structured lifecycle observation. Ch and VC identify the
+// virtual channel involved (-1 when not applicable); Src and Dst are set on
+// inject/drop events only (-1 otherwise).
+type Event struct {
+	Cycle int64     `json:"cycle"`
+	Msg   int64     `json:"msg"`
+	Type  EventType `json:"type"`
+	Node  int       `json:"node"`
+	Ch    int       `json:"ch"`
+	VC    int       `json:"vc"`
+	Src   int       `json:"src"`
+	Dst   int       `json:"dst"`
+}
+
+// String renders the event for diagnostics (the watchdog report).
+func (e Event) String() string {
+	switch e.Type {
+	case EvInject, EvDrop:
+		return fmt.Sprintf("c%-6d msg %-4d %-7s %d->%d", e.Cycle, e.Msg, e.Type, e.Src, e.Dst)
+	case EvVCAlloc, EvHop:
+		return fmt.Sprintf("c%-6d msg %-4d %-7s node %d ch %d vc %d", e.Cycle, e.Msg, e.Type, e.Node, e.Ch, e.VC)
+	default:
+		return fmt.Sprintf("c%-6d msg %-4d %-7s node %d", e.Cycle, e.Msg, e.Type, e.Node)
+	}
+}
+
+// FormatEvents renders events one per line, for attaching to error reports.
+func FormatEvents(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString("  ")
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteJSONL writes one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (https://chromium.googlesource.com/catapult: "X" complete events with
+// microsecond timestamps, "M" metadata events naming the threads). Worms map
+// to threads of one process, so chrome://tracing draws each worm's lifecycle
+// as a labelled horizontal track.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat,omitempty"`
+	Ph   string      `json:"ph"`
+	TS   int64       `json:"ts"`
+	Dur  int64       `json:"dur,omitempty"`
+	PID  int         `json:"pid"`
+	TID  int64       `json:"tid"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeArgs carries the event detail into the trace viewer's inspector.
+type chromeArgs struct {
+	Name string `json:"name,omitempty"`
+	Node *int   `json:"node,omitempty"`
+	Ch   *int   `json:"ch,omitempty"`
+	VC   *int   `json:"vc,omitempty"`
+}
+
+// chromeTrace is the trace_event JSON object form.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports events as Chrome trace_event JSON, loadable in
+// chrome://tracing (or ui.perfetto.dev). Each worm becomes one thread; each
+// lifecycle stage becomes a complete ("X") event whose duration runs to the
+// worm's next event, so a stalled header shows up as one long "hop" slice.
+// Cycles are mapped 1:1 to microseconds.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	// nextSame[i] is the index of the next event of the same worm, or -1.
+	nextSame := make([]int, len(events))
+	lastSeen := map[int64]int{}
+	for i := len(events) - 1; i >= 0; i-- {
+		if j, ok := lastSeen[events[i].Msg]; ok {
+			nextSame[i] = j
+		} else {
+			nextSame[i] = -1
+		}
+		lastSeen[events[i].Msg] = i
+	}
+
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events)+len(lastSeen))}
+	named := map[int64]bool{}
+	for i, e := range events {
+		if !named[e.Msg] {
+			named[e.Msg] = true
+			label := fmt.Sprintf("worm %d", e.Msg)
+			if e.Type == EvInject || e.Type == EvDrop {
+				label = fmt.Sprintf("worm %d %d->%d", e.Msg, e.Src, e.Dst)
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", TS: e.Cycle, PID: 0, TID: e.Msg,
+				Args: &chromeArgs{Name: label},
+			})
+		}
+		dur := int64(1)
+		if j := nextSame[i]; j >= 0 && events[j].Cycle > e.Cycle {
+			dur = events[j].Cycle - e.Cycle
+		}
+		name := e.Type.String()
+		if e.Type == EvHop || e.Type == EvVCAlloc {
+			name = fmt.Sprintf("%s node %d", e.Type, e.Node)
+		}
+		node, ch, vc := e.Node, e.Ch, e.VC
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name, Cat: e.Type.String(), Ph: "X", TS: e.Cycle, Dur: dur,
+			PID: 0, TID: e.Msg,
+			Args: &chromeArgs{Node: &node, Ch: &ch, VC: &vc},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// VCHold describes one virtual-channel buffer a worm currently owns.
+type VCHold struct {
+	// Ch is the physical channel slot, -1 for the source injection slot.
+	Ch int
+	// Class is the virtual-channel class (0 for injection slots).
+	Class int
+	// Node is where the buffer's flits reside.
+	Node int
+	// Flits currently buffered there.
+	Flits int
+}
+
+// WormState is the canonical view of one in-flight worm — the single source
+// of truth behind network.Snapshot, the deadlock report and external
+// inspection. Holding is ordered injection slot first, then by channel slot.
+type WormState struct {
+	ID        int64
+	Src, Dst  int
+	Len       int
+	HopsTaken int
+	HopsTotal int
+	// Routed reports whether the buffer currently holding the header has an
+	// output virtual channel allocated (or is draining at the destination).
+	Routed bool
+	// HeadNode is the node whose buffer currently holds the header flit.
+	HeadNode int
+	// Holding lists every buffer the worm occupies, upstream to downstream.
+	Holding []VCHold
+}
+
+// HeldVCs counts owned network virtual channels (the injection slot is not
+// a network resource).
+func (w WormState) HeldVCs() int {
+	n := 0
+	for _, h := range w.Holding {
+		if h.Ch >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// BufferedFlits sums flits currently buffered in network virtual channels.
+func (w WormState) BufferedFlits() int {
+	n := 0
+	for _, h := range w.Holding {
+		if h.Ch >= 0 {
+			n += h.Flits
+		}
+	}
+	return n
+}
+
+// String renders the worm for diagnostics.
+func (w WormState) String() string {
+	return fmt.Sprintf("msg %d %d->%d len %d hops %d/%d holds %d VCs (%d flits in-network) routed=%v",
+		w.ID, w.Src, w.Dst, w.Len, w.HopsTaken, w.HopsTotal, w.HeldVCs(), w.BufferedFlits(), w.Routed)
+}

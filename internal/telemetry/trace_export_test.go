@@ -1,0 +1,138 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wormsim/internal/network"
+	"wormsim/internal/routing"
+	"wormsim/internal/telemetry"
+	"wormsim/internal/topology"
+	"wormsim/internal/traffic"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// traceFrom4x4 runs the deterministic tiny scenario every export test
+// shares: a 4x4 torus under light uniform traffic for 200 cycles.
+func traceFrom4x4(t *testing.T) []telemetry.Event {
+	t.Helper()
+	g := topology.NewTorus(4, 2)
+	alg, err := routing.Get("ecube")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.03, 9)
+	tel := telemetry.New(telemetry.Options{Trace: true}, g.ChannelSlots(), alg.NumVCs(g))
+	n, err := network.New(network.Config{
+		Grid: g, Algorithm: alg, Workload: wl, MsgLen: 4, Seed: 9, Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	evs := tel.Events()
+	if len(evs) == 0 {
+		t.Fatal("tiny run produced no events")
+	}
+	return evs
+}
+
+// TestChromeTraceGolden pins the exporter's output byte-for-byte (the
+// simulator is deterministic for a fixed seed) and verifies the structural
+// contract: valid JSON, and per worm (tid) the complete-event timestamps
+// never decrease. Regenerate with: go test ./internal/telemetry -run Golden -update
+func TestChromeTraceGolden(t *testing.T) {
+	evs := traceFrom4x4(t)
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_4x4.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden file %s (run with -update if intended); got %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+
+	// Structural contract, independent of the exact bytes.
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			PID  int    `json:"pid"`
+			TID  int64  `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	lastTS := map[int64]int64{}
+	slices, meta := 0, 0
+	for _, e := range trace.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+			if prev, ok := lastTS[e.TID]; ok && e.TS < prev {
+				t.Fatalf("worm %d: ts %d after %d — not monotonically non-decreasing", e.TID, e.TS, prev)
+			}
+			lastTS[e.TID] = e.TS
+			if e.Dur <= 0 {
+				t.Errorf("worm %d: non-positive duration %d at ts %d", e.TID, e.Dur, e.TS)
+			}
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if slices != len(evs) {
+		t.Errorf("%d slice events for %d lifecycle events", slices, len(evs))
+	}
+	if meta == 0 {
+		t.Error("no thread-name metadata events")
+	}
+}
+
+// TestJSONLExportParses checks every line of the JSONL export is an
+// independent valid JSON object round-tripping to the same event.
+func TestJSONLExportParses(t *testing.T) {
+	evs := traceFrom4x4(t)
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != len(evs) {
+		t.Fatalf("%d lines for %d events", len(lines), len(evs))
+	}
+	for i, line := range lines {
+		var e telemetry.Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if e != evs[i] {
+			t.Errorf("line %d: %+v != %+v", i, e, evs[i])
+		}
+	}
+}
