@@ -1,0 +1,51 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"wormsim/internal/message"
+	"wormsim/internal/routing"
+	"wormsim/internal/topology"
+	"wormsim/internal/traffic"
+)
+
+type oneShot struct{ sent bool }
+
+func (o *oneShot) Arrivals(cycle int64, buf []traffic.Arrival) []traffic.Arrival {
+	if o.sent {
+		return buf[:0]
+	}
+	o.sent = true
+	return append(buf[:0], traffic.Arrival{Src: 0, Dst: 3})
+}
+func (o *oneShot) Reseed(uint64)                {}
+func (o *oneShot) HopClassWeights() []float64   { return []float64{1} }
+
+func TestHeadNodeDuringDrain(t *testing.T) {
+	g, err := topology.NewGrid([]int{4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := routing.New("nbc", g)
+	if err != nil {
+		// try another name
+		t.Skip("alg nbc unavailable:", err)
+	}
+	n, err := New(Config{Grid: g, Algorithm: alg, Policy: routing.DefaultPolicy(), Workload: &oneShot{}, MsgLen: 8, BufDepth: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = message.Message{}
+	for i := 0; i < 40; i++ {
+		if err := n.Step(); err != nil {
+			t.Fatal(err)
+		}
+		ws := n.WormStates()
+		if len(ws) == 0 {
+			continue
+		}
+		w := ws[0]
+		fmt.Printf("cycle %d: head=%d routed=%v holds=%d flits=%d\n", i, w.HeadNode, w.Routed, w.HeldVCs(), w.BufferedFlits())
+	}
+}
