@@ -9,6 +9,12 @@
 //	cdg -alg nlast -k 6        # one algorithm, 6-ary torus
 //	cdg -alg 2pnsrc -witness   # show the cycle that wedges the source tag
 //	cdg -alg 2pn -mesh         # Dally's mesh scheme
+//	cdg -certify               # full certification matrix -> cdg_certificates.json
+//
+// In -certify mode the exhaustive analyzer runs over every registered
+// algorithm × the full mesh/torus radix/dimension matrix, writes a
+// machine-readable certificate file, and exits non-zero if any cell
+// contradicts its registered expectation (the CI deadlock-freedom gate).
 //
 // Note that for fully adaptive algorithms a cycle here does NOT prove a
 // deadlock can occur (adaptive routing may escape; Duato's theory applies);
@@ -33,7 +39,13 @@ func main() {
 	n := flag.Int("n", 2, "dimensions")
 	mesh := flag.Bool("mesh", false, "mesh instead of torus")
 	witness := flag.Bool("witness", false, "print the cycle witness if one exists")
+	certify := flag.Bool("certify", false, "run the full certification matrix and write -o")
+	out := flag.String("o", "cdg_certificates.json", "certificate output path for -certify")
 	flag.Parse()
+
+	if *certify {
+		os.Exit(runCertify(*out))
+	}
 
 	var g *topology.Grid
 	if *mesh {
@@ -71,4 +83,37 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// runCertify executes the certification gate: analyze every registered
+// algorithm on the full matrix, write the certificate file, and report 0
+// only if every verdict matches its registered expectation.
+func runCertify(path string) int {
+	cert, err := cdg.Certify(nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdg: %v\n", err)
+		return 1
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdg: %v\n", err)
+		return 1
+	}
+	werr := cert.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "cdg: write %s: %v\n", path, werr)
+		return 1
+	}
+	fmt.Printf("cdg: %d certificates -> %s: %d Dally-Seitz + %d Duato-escape certified, %d known-cyclic, %d skipped\n",
+		len(cert.Certificates), path, cert.DallySeitz, cert.DuatoEscape, cert.KnownCyclic, cert.Skipped)
+	if !cert.AllOK {
+		for _, f := range cert.Failures {
+			fmt.Fprintf(os.Stderr, "cdg: FAIL %s\n", f)
+		}
+		return 2
+	}
+	return 0
 }

@@ -16,6 +16,7 @@ package cdg
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"wormsim/internal/message"
@@ -168,7 +169,7 @@ func Analyze(g *topology.Grid, alg routing.Algorithm) (Result, error) {
 		Grid:      g.String(),
 		VCs:       g.ChannelSlots() * numVCs,
 	}
-	for _, out := range adj {
+	for _, out := range adj { //lint:allow simdeterminism (order-independent sum)
 		res.Edges += len(out)
 	}
 	res.Cycle = findCycle(adj, numVCs)
@@ -183,14 +184,29 @@ func cloneMessage(m *message.Message) *message.Message {
 	return &c
 }
 
-// findCycle runs an iterative colored DFS and returns one cycle as VCs, or
-// nil.
+// findCycle runs a colored DFS over the dependency graph in sorted vertex
+// and successor order — the traversal must be deterministic so that the
+// witness cycle is stable across runs (the certification gate golden-files
+// it) — and returns one cycle as VCs, or nil.
 func findCycle(adj map[int32]map[int32]bool, numVCs int) []VC {
 	const (
 		white = 0
 		gray  = 1
 		black = 2
 	)
+	verts := make([]int32, 0, len(adj))
+	succ := make(map[int32][]int32, len(adj))
+	for u, out := range adj { //lint:allow simdeterminism (collected then sorted)
+		verts = append(verts, u)
+		vs := make([]int32, 0, len(out))
+		for v := range out { //lint:allow simdeterminism (collected then sorted)
+			vs = append(vs, v)
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		succ[u] = vs
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+
 	color := make(map[int32]int, len(adj))
 	parent := make(map[int32]int32)
 
@@ -198,7 +214,7 @@ func findCycle(adj map[int32]map[int32]bool, numVCs int) []VC {
 	var dfs func(u int32) bool
 	dfs = func(u int32) bool {
 		color[u] = gray
-		for v := range adj[u] {
+		for _, v := range succ[u] {
 			switch color[v] {
 			case white:
 				parent[v] = u
@@ -213,7 +229,7 @@ func findCycle(adj map[int32]map[int32]bool, numVCs int) []VC {
 		color[u] = black
 		return false
 	}
-	for u := range adj {
+	for _, u := range verts {
 		if color[u] == white {
 			if dfs(u) {
 				break

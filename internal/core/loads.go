@@ -19,7 +19,7 @@ func ParseLoads(spec string) ([]float64, error) {
 		for i, dst := range []*float64{&lo, &hi, &step} {
 			v, err := strconv.ParseFloat(parts[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("core: bad load range component %q: %v", parts[i], err)
+				return nil, fmt.Errorf("core: bad load range component %q: %w", parts[i], err)
 			}
 			*dst = v
 		}
@@ -36,7 +36,7 @@ func ParseLoads(spec string) ([]float64, error) {
 	for _, s := range strings.Split(spec, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {
-			return nil, fmt.Errorf("core: bad load %q: %v", s, err)
+			return nil, fmt.Errorf("core: bad load %q: %w", s, err)
 		}
 		loads = append(loads, v)
 	}

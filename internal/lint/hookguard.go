@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HookGuard enforces the telemetry contract "disabled telemetry is one
+// branch per hook, never a panic": a *telemetry.Collector is nil whenever
+// collection is off, so every hook call site must be dominated by a nil
+// guard — either an enclosing `if c != nil { ... }` (conjunctions count) or
+// an earlier `if c == nil { return }` in the same function. Methods that
+// check their own receiver (telemetry.Collector.Tracing) are exempt, as is
+// the telemetry package itself.
+type HookGuard struct {
+	// TypePath/TypeName identify the hook receiver type whose call sites
+	// must be guarded.
+	TypePath string
+	TypeName string
+	// NilSafe lists methods that are safe on a nil receiver.
+	NilSafe map[string]bool
+}
+
+// NewHookGuard guards wormsim's telemetry collector.
+func NewHookGuard() *HookGuard {
+	return &HookGuard{
+		TypePath: "wormsim/internal/telemetry",
+		TypeName: "Collector",
+		NilSafe:  map[string]bool{"Tracing": true},
+	}
+}
+
+// Name returns "hookguard".
+func (*HookGuard) Name() string { return "hookguard" }
+
+// Doc describes the pass.
+func (h *HookGuard) Doc() string {
+	return "require telemetry hook call sites to be nil-guarded"
+}
+
+// Run reports unguarded hook calls.
+func (h *HookGuard) Run(p *Package) []Finding {
+	if p.Path == h.TypePath {
+		return nil // the collector's own methods receive the receiver
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !h.isHookReceiver(p, sel.X) {
+				return
+			}
+			if h.NilSafe[sel.Sel.Name] {
+				return
+			}
+			recv := types.ExprString(sel.X)
+			if guardedByIf(stack, call, recv) || guardedByEarlyExit(p, stack, call, recv) {
+				return
+			}
+			out = append(out, p.finding(h.Name(), call,
+				"telemetry hook %s.%s is not nil-guarded; wrap it in `if %s != nil { ... }`",
+				recv, sel.Sel.Name, recv))
+		})
+	}
+	return out
+}
+
+// isHookReceiver reports whether e has type *TypePath.TypeName.
+func (h *HookGuard) isHookReceiver(p *Package, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == h.TypeName && obj.Pkg() != nil && obj.Pkg().Path() == h.TypePath
+}
+
+// guardedByIf reports whether some enclosing if-statement's condition
+// asserts recv != nil with the call inside its then-branch.
+func guardedByIf(stack []ast.Node, call *ast.CallExpr, recv string) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		inBody := call.Pos() >= ifs.Body.Pos() && call.End() <= ifs.Body.End()
+		if inBody && condAssertsNonNil(ifs.Cond, recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// condAssertsNonNil reports whether cond (or any && conjunct of it)
+// compares recv against nil with !=.
+func condAssertsNonNil(cond ast.Expr, recv string) bool {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return condAssertsNonNil(c.X, recv)
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			return condAssertsNonNil(c.X, recv) || condAssertsNonNil(c.Y, recv)
+		case token.NEQ:
+			return isNilCheck(c.X, c.Y, recv) || isNilCheck(c.Y, c.X, recv)
+		}
+	}
+	return false
+}
+
+func isNilCheck(x, y ast.Expr, recv string) bool {
+	id, ok := y.(*ast.Ident)
+	return ok && id.Name == "nil" && types.ExprString(x) == recv
+}
+
+// guardedByEarlyExit reports whether the enclosing function contains an
+// earlier `if recv == nil { return/continue/panic }` guard.
+func guardedByEarlyExit(p *Package, stack []ast.Node, call *ast.CallExpr, recv string) bool {
+	var body *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			body = fn.Body
+		case *ast.FuncDecl:
+			body = fn.Body
+		}
+		if body != nil {
+			break
+		}
+	}
+	if body == nil {
+		return false
+	}
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.End() > call.Pos() || len(ifs.Body.List) == 0 {
+			return true
+		}
+		bin, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.EQL {
+			return true
+		}
+		if !isNilCheck(bin.X, bin.Y, recv) && !isNilCheck(bin.Y, bin.X, recv) {
+			return true
+		}
+		switch last := ifs.Body.List[len(ifs.Body.List)-1].(type) {
+		case *ast.ReturnStmt:
+			guarded = true
+		case *ast.BranchStmt:
+			guarded = true
+		case *ast.ExprStmt:
+			if c, ok := last.X.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					guarded = true
+				}
+			}
+		}
+		return true
+	})
+	return guarded
+}

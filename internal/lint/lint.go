@@ -1,0 +1,180 @@
+// Package lint is wormsim's domain-specific static-analysis suite: a small
+// analyzer framework (go/ast + go/types, stdlib only — see Loader) with
+// passes that machine-enforce the invariants the paper's methodology and
+// the simulator's design rest on.
+//
+// The passes:
+//
+//   - simdeterminism — the simulation core must be bit-reproducible from
+//     its seeds: no math/rand, no wall clock, no iteration over maps.
+//   - hookguard — telemetry hook call sites must be nil-guarded so that
+//     disabled telemetry stays a branch, never a panic.
+//   - mutexcopy — locks must not be copied through receivers or parameters.
+//   - loopcapture — go/defer closures must not capture variables the
+//     enclosing loop keeps reassigning.
+//   - errfmt — error strings follow Go conventions and error operands are
+//     wrapped with %w.
+//
+// A finding can be suppressed where the flagged use is intentional by
+// annotating the line (or the line above it) with a directive:
+//
+//	//lint:allow <pass>[,<pass>...] [reason]
+//
+// Findings print as "file:line: [pass] message"; cmd/wormlint exits
+// non-zero if any survive, which makes the suite a CI gate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: a position, the pass that produced it, and the
+// message.
+type Finding struct {
+	Pos  token.Position
+	Pass string
+	Msg  string
+}
+
+// String renders the finding in the canonical "file:line: [pass] message"
+// form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pass, f.Msg)
+}
+
+// Pass is one analyzer. Run inspects a loaded package and returns raw
+// findings; the framework filters //lint:allow-suppressed ones afterwards.
+type Pass interface {
+	Name() string
+	// Doc is a one-line description for -list.
+	Doc() string
+	Run(p *Package) []Finding
+}
+
+// DefaultPasses returns the full suite in reporting order.
+func DefaultPasses() []Pass {
+	return []Pass{
+		NewSimDeterminism(),
+		NewHookGuard(),
+		MutexCopy{},
+		LoopCapture{},
+		ErrFmt{},
+	}
+}
+
+// Run applies every pass to every package, drops suppressed findings, and
+// returns the rest sorted by file, line and pass.
+func Run(pkgs []*Package, passes []Pass) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		for _, pass := range passes {
+			for _, f := range pass.Run(p) {
+				if p.Allowed(pass.Name(), f.Pos) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pass < b.Pass
+	})
+	return out
+}
+
+// Package is one parsed, type-checked package plus lint bookkeeping.
+type Package struct {
+	// Path is the import path, Dir the absolute directory.
+	Path string
+	Dir  string
+	Fset *token.FileSet
+	// Files holds the package's non-test files in filename order.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	allow map[allowKey]bool
+}
+
+type allowKey struct {
+	file string
+	line int
+	pass string
+}
+
+// Allowed reports whether a //lint:allow directive suppresses pass findings
+// at pos.
+func (p *Package) Allowed(pass string, pos token.Position) bool {
+	return p.allow[allowKey{file: pos.Filename, line: pos.Line, pass: pass}]
+}
+
+// collectAllows indexes every //lint:allow directive: a directive covers
+// its own line and, so that whole-line comments can annotate the statement
+// below them, the line immediately after the comment group.
+func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
+	allow := make(map[allowKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text, ok = strings.CutPrefix(strings.TrimPrefix(text, " "), "lint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				endLine := fset.Position(cg.End()).Line
+				for _, pass := range strings.Split(fields[0], ",") {
+					if pass == "" {
+						continue
+					}
+					allow[allowKey{file: pos.Filename, line: pos.Line, pass: pass}] = true
+					allow[allowKey{file: pos.Filename, line: endLine + 1, pass: pass}] = true
+				}
+			}
+		}
+	}
+	return allow
+}
+
+// walkStack traverses root in source order, calling fn for every node with
+// the stack of its ancestors (outermost first, n excluded).
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// finding builds a Finding at n's position.
+func (p *Package) finding(pass string, n ast.Node, format string, args ...any) Finding {
+	return Finding{
+		Pos:  p.Fset.Position(n.Pos()),
+		Pass: pass,
+		Msg:  fmt.Sprintf(format, args...),
+	}
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func position(file string, line int) token.Position {
+	return token.Position{Filename: file, Line: line}
+}
+
+// loadFixture type-checks one package under testdata/src with a fresh
+// loader. Fixtures live below testdata so the module build and the
+// recursive wormlint walk both skip them.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	p, err := l.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", name, err)
+	}
+	if p == nil {
+		t.Fatalf("fixture %s has no Go files", name)
+	}
+	return p
+}
+
+// wantLines scans the fixture's files for trailing "// WANT <pass>" markers
+// and returns the marked line numbers. Only end-of-line markers count, so
+// the fixture header can mention the marker syntax in prose.
+func wantLines(t *testing.T, p *Package, pass string) map[int]bool {
+	t.Helper()
+	want := make(map[int]bool)
+	marker := "// WANT " + pass
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("read fixture source: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.HasSuffix(strings.TrimRight(line, " \t"), marker) {
+				want[i+1] = true
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatalf("fixture for %s has no WANT markers", pass)
+	}
+	return want
+}
+
+// checkFixture runs one pass over one fixture (through Run, so //lint:allow
+// suppression applies exactly as in wormlint) and requires the reported
+// lines to equal the WANT-marked lines.
+func checkFixture(t *testing.T, fixture string, pass Pass) {
+	t.Helper()
+	p := loadFixture(t, fixture)
+	want := wantLines(t, p, pass.Name())
+	got := make(map[int]bool)
+	for _, f := range Run([]*Package{p}, []Pass{pass}) {
+		got[f.Pos.Line] = true
+		if f.Pass != pass.Name() {
+			t.Errorf("finding %v attributed to pass %q, want %q", f, f.Pass, pass.Name())
+		}
+	}
+	for line := range want {
+		if !got[line] {
+			t.Errorf("%s: no %s finding at line %d, want one", fixture, pass.Name(), line)
+		}
+	}
+	for line := range got {
+		if !want[line] {
+			t.Errorf("%s: unexpected %s finding at line %d", fixture, pass.Name(), line)
+		}
+	}
+}
+
+func TestSimDeterminismFixture(t *testing.T) {
+	p := loadFixture(t, "simdet")
+	// The fixture is outside the simulation core, so target it explicitly.
+	checkFixture(t, "simdet", &SimDeterminism{Targets: []string{p.Path}})
+}
+
+func TestSimDeterminismIgnoresUntargetedPackages(t *testing.T) {
+	p := loadFixture(t, "simdet")
+	if got := Run([]*Package{p}, []Pass{NewSimDeterminism()}); len(got) != 0 {
+		t.Errorf("default targets flagged fixture package %s: %v", p.Path, got)
+	}
+}
+
+func TestHookGuardFixture(t *testing.T) {
+	checkFixture(t, "hookbad", NewHookGuard())
+}
+
+func TestMutexCopyFixture(t *testing.T) {
+	checkFixture(t, "mutexbad", MutexCopy{})
+}
+
+func TestLoopCaptureFixture(t *testing.T) {
+	checkFixture(t, "loopbad", LoopCapture{})
+}
+
+func TestErrFmtFixture(t *testing.T) {
+	checkFixture(t, "errbad", ErrFmt{})
+}
+
+// TestRepoClean is the in-process equivalent of `go run ./cmd/wormlint
+// ./...`: the shipped tree must be finding-free, so that any new violation
+// fails the ordinary test suite too.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load(l.ModRoot + "/...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load matched no packages")
+	}
+	for _, f := range Run(pkgs, DefaultPasses()) {
+		t.Errorf("repo finding: %s", f)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	p := loadFixture(t, "errbad")
+	fs := Run([]*Package{p}, []Pass{ErrFmt{}})
+	if len(fs) == 0 {
+		t.Fatal("no findings to format")
+	}
+	s := fs[0].String()
+	if !strings.Contains(s, "errbad.go:") || !strings.Contains(s, "[errfmt]") {
+		t.Errorf("String() = %q, want file:line: [errfmt] message form", s)
+	}
+}
+
+func TestFormatVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		verbs  string
+		ok     bool
+	}{
+		{"plain", "", true},
+		{"%s: %w", "sw", true},
+		{"%d%%%v", "dv", true},
+		{"%+8.3f %q", "fq", true},
+		{"pad %*d: %w", "*dw", true},
+		{"%[1]s", "", false},
+	}
+	for _, c := range cases {
+		vs, ok := formatVerbs(c.format)
+		if ok != c.ok || string(vs) != c.verbs {
+			t.Errorf("formatVerbs(%q) = %q, %v; want %q, %v", c.format, vs, ok, c.verbs, c.ok)
+		}
+	}
+}
+
+func TestAllowDirectiveScope(t *testing.T) {
+	p := loadFixture(t, "simdet")
+	var file string
+	for _, f := range p.Files {
+		file = p.Fset.Position(f.Pos()).Filename
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sameLine, lineAbove int
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, "//lint:allow simdeterminism (collected then sorted)") {
+			sameLine = i + 1
+		}
+		if strings.Contains(line, "//lint:allow simdeterminism (order-independent sum)") {
+			lineAbove = i + 1
+		}
+	}
+	if sameLine == 0 || lineAbove == 0 {
+		t.Fatal("fixture directives not found")
+	}
+	pos := func(line int) bool {
+		return p.Allowed("simdeterminism", position(file, line))
+	}
+	if !pos(sameLine) {
+		t.Errorf("directive does not cover its own line %d", sameLine)
+	}
+	if !pos(lineAbove + 1) {
+		t.Errorf("whole-line directive does not cover the line below %d", lineAbove)
+	}
+	if pos(sameLine) && p.Allowed("errfmt", position(file, sameLine)) {
+		t.Error("directive for simdeterminism leaked to errfmt")
+	}
+}

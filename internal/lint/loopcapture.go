@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LoopCapture flags go/defer closures inside loops that capture mutable
+// loop state by reference:
+//
+//   - a variable declared outside the loop but reassigned inside it — the
+//     goroutine or deferred call observes whichever iteration wrote last
+//     (a data race for goroutines, a stale value for defers);
+//   - for defer only, the loop's own iteration variable — deferred calls
+//     run at function exit, not per iteration, which is almost never the
+//     intent (and batches resource release until the very end).
+//
+// Go 1.22's per-iteration loop variables make capturing the iteration
+// variable in a goroutine safe, so that case is deliberately not flagged.
+type LoopCapture struct{}
+
+// Name returns "loopcapture".
+func (LoopCapture) Name() string { return "loopcapture" }
+
+// Doc describes the pass.
+func (LoopCapture) Doc() string {
+	return "forbid go/defer closures capturing loop-mutated variables"
+}
+
+// Run reports hazardous captures.
+func (LoopCapture) Run(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			var call *ast.CallExpr
+			var verb string
+			switch s := n.(type) {
+			case *ast.GoStmt:
+				call, verb = s.Call, "go"
+			case *ast.DeferStmt:
+				call, verb = s.Call, "defer"
+			default:
+				return
+			}
+			lit, ok := call.Fun.(*ast.FuncLit)
+			if !ok {
+				return
+			}
+			loop := innermostLoop(stack)
+			if loop == nil {
+				return
+			}
+			reported := map[types.Object]bool{}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj, ok := p.Info.Uses[id].(*types.Var)
+				if !ok || reported[obj] || obj.IsField() {
+					return true
+				}
+				declInsideLit := obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+				if declInsideLit {
+					return true
+				}
+				declInLoop := obj.Pos() >= loop.Pos() && obj.Pos() <= loop.End()
+				switch {
+				case !declInLoop && assignedIn(p, loop, obj, lit):
+					reported[obj] = true
+					out = append(out, p.finding(LoopCapture{}.Name(), id,
+						"%s closure captures %q, which the enclosing loop reassigns; pass it as an argument", verb, obj.Name()))
+				case verb == "defer" && isLoopVar(p, loop, obj):
+					reported[obj] = true
+					out = append(out, p.finding(LoopCapture{}.Name(), id,
+						"deferred closure in a loop captures iteration variable %q; the call only runs at function exit", obj.Name()))
+				}
+				return true
+			})
+		})
+	}
+	return out
+}
+
+// innermostLoop returns the nearest enclosing for/range statement, or nil.
+func innermostLoop(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// assignedIn reports whether obj is assigned (or ++/--'d) anywhere in loop
+// outside the function literal lit.
+func assignedIn(p *Package, loop ast.Node, obj types.Object, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if n == lit {
+			return false
+		}
+		var lhs []ast.Expr
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			lhs = s.Lhs
+		case *ast.IncDecStmt:
+			lhs = []ast.Expr{s.X}
+		default:
+			return true
+		}
+		for _, e := range lhs {
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if p.Info.Uses[id] == obj || p.Info.Defs[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isLoopVar reports whether obj is an iteration variable of loop (a range
+// key/value or a variable declared in a for-init).
+func isLoopVar(p *Package, loop ast.Node, obj types.Object) bool {
+	var decls []ast.Expr
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		decls = []ast.Expr{l.Key, l.Value}
+	case *ast.ForStmt:
+		if init, ok := l.Init.(*ast.AssignStmt); ok {
+			decls = init.Lhs
+		}
+	}
+	for _, e := range decls {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if p.Info.Defs[id] == obj {
+			return true
+		}
+	}
+	return false
+}

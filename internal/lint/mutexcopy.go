@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopy flags functions that copy a lock: a value (non-pointer)
+// receiver or parameter whose type contains a sync primitive. A copied
+// mutex guards nothing — the telemetry Progress tracker and the stats
+// gauges are exactly the kinds of types this protects. go vet's copylocks
+// catches assignments too; this pass keeps the signature-level rule in the
+// repo's own gate so wormlint stands alone.
+type MutexCopy struct{}
+
+// Name returns "mutexcopy".
+func (MutexCopy) Name() string { return "mutexcopy" }
+
+// Doc describes the pass.
+func (MutexCopy) Doc() string {
+	return "forbid value receivers and parameters whose type contains a sync primitive"
+}
+
+// Run reports lock-copying signatures.
+func (MutexCopy) Run(p *Package) []Finding {
+	var out []Finding
+	check := func(kind string, fl *ast.FieldList, fnName string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.Info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if lock := containsLock(t, nil); lock != "" {
+				out = append(out, p.finding(MutexCopy{}.Name(), field,
+					"%s of %s copies a lock: type %s contains sync.%s; use a pointer",
+					kind, fnName, t.String(), lock))
+			}
+		}
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			check("receiver", fn.Recv, fn.Name.Name)
+			check("parameter", fn.Type.Params, fn.Name.Name)
+			check("result", fn.Type.Results, fn.Name.Name)
+		}
+	}
+	return out
+}
+
+// containsLock reports the first sync primitive reachable from t by value
+// (no pointer indirection), or "".
+func containsLock(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+				return obj.Name()
+			}
+		}
+		return containsLock(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := containsLock(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return ""
+}

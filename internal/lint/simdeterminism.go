@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// SimDeterminism enforces the paper's reproducibility methodology on the
+// simulation core: every run must be a pure function of its configuration
+// and seeds (Boppana & Chalasani re-seed independent streams per sampling
+// period, and the sweep/figure pipelines assume bit-identical reruns). In
+// the target packages the pass forbids
+//
+//   - importing math/rand or math/rand/v2 (use wormsim/internal/rng, whose
+//     PCG streams are seeded, splittable and reproducible),
+//   - calling time.Now, time.Since or time.Until (wall-clock reads; inject
+//     a clock like telemetry.Progress does when one is genuinely needed),
+//   - ranging over a map (iteration order is randomized per run; iterate a
+//     sorted key slice instead).
+//
+// Intentional uses — order-independent reductions over maps, telemetry
+// wall-clock reads behind an injected clock — are annotated in place with
+// //lint:allow simdeterminism and a reason.
+type SimDeterminism struct {
+	// Targets are the import paths the pass applies to; a path matches
+	// exactly. Packages outside the simulation core (CLIs, rng itself,
+	// telemetry) are free to use the clock.
+	Targets []string
+}
+
+// NewSimDeterminism targets the simulation-core packages named in the
+// determinism contract: everything that runs between a Config and a Result.
+func NewSimDeterminism() *SimDeterminism {
+	return &SimDeterminism{Targets: []string{
+		"wormsim/internal/network",
+		"wormsim/internal/routing",
+		"wormsim/internal/topology",
+		"wormsim/internal/traffic",
+		"wormsim/internal/congestion",
+		"wormsim/internal/core",
+		"wormsim/internal/message",
+		"wormsim/internal/cdg",
+		// telemetry feeds golden-trace tests, so it is held to the same
+		// standard; its one deliberate wall-clock read (the Progress ETA,
+		// behind an injectable clock) is annotated in place.
+		"wormsim/internal/telemetry",
+	}}
+}
+
+// Name returns "simdeterminism".
+func (*SimDeterminism) Name() string { return "simdeterminism" }
+
+// Doc describes the pass.
+func (*SimDeterminism) Doc() string {
+	return "forbid math/rand, wall-clock reads and map iteration in the simulation core"
+}
+
+// Run reports determinism violations in targeted packages.
+func (s *SimDeterminism) Run(p *Package) []Finding {
+	if !s.targets(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, p.finding(s.Name(), imp,
+					"import %s is nondeterministic across runs; use wormsim/internal/rng streams", path))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := pkgFuncCall(p, n, "time"); ok {
+					switch name {
+					case "Now", "Since", "Until":
+						out = append(out, p.finding(s.Name(), n,
+							"time.%s reads the wall clock; inject a clock or //lint:allow simdeterminism with a reason", name))
+					}
+				}
+			case *ast.RangeStmt:
+				t := p.Info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					out = append(out, p.finding(s.Name(), n,
+						"iteration over map %s has randomized order; iterate sorted keys or //lint:allow simdeterminism with a reason", t.String()))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (s *SimDeterminism) targets(path string) bool {
+	for _, t := range s.Targets {
+		if path == t {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFuncCall reports whether call is pkg.Func on the package named pkgPath
+// (resolving through import aliases) and returns the function name.
+func pkgFuncCall(p *Package, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

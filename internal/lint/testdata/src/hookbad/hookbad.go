@@ -1,0 +1,56 @@
+// Package hookbad is a wormlint test fixture for the hookguard pass.
+// Lines the pass should report carry a "// WANT hookguard" marker.
+package hookbad
+
+import "wormsim/internal/telemetry"
+
+// Sim is a stand-in simulation engine with an optional collector.
+type Sim struct {
+	tel *telemetry.Collector
+}
+
+// Bad calls a hook with no guard at all.
+func (s *Sim) Bad() {
+	s.tel.EndCycle() // WANT hookguard
+}
+
+// WrongGuard checks a different collector than the one it calls.
+func (s *Sim) WrongGuard(other *Sim) {
+	if other.tel != nil {
+		s.tel.EndCycle() // WANT hookguard
+	}
+}
+
+// ElseBranch guards the wrong arm.
+func (s *Sim) ElseBranch() {
+	if s.tel != nil {
+		_ = s
+	} else {
+		s.tel.InjEnqueue() // WANT hookguard
+	}
+}
+
+// Guarded wraps the hook the canonical way.
+func (s *Sim) Guarded() {
+	if s.tel != nil {
+		s.tel.EndCycle()
+	}
+}
+
+// Conjunct guards within a compound condition.
+func (s *Sim) Conjunct(on bool) {
+	if on && s.tel != nil {
+		s.tel.InjEnqueue()
+	}
+}
+
+// EarlyExit guards with an up-front return.
+func (s *Sim) EarlyExit() {
+	if s.tel == nil {
+		return
+	}
+	s.tel.InjDequeue()
+}
+
+// NilSafe calls the one method that checks its own receiver.
+func (s *Sim) NilSafe() bool { return s.tel.Tracing() }

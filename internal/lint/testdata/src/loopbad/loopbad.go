@@ -1,0 +1,45 @@
+// Package loopbad is a wormlint test fixture for the loopcapture pass.
+// Lines the pass should report carry a "// WANT loopcapture" marker.
+package loopbad
+
+// Launch starts a goroutine per item that observes a variable the loop
+// keeps reassigning: every goroutine may see the last value.
+func Launch(items []int) {
+	var cur int
+	done := make(chan struct{}, len(items))
+	for _, it := range items {
+		cur = it
+		go func() {
+			_ = cur // WANT loopcapture
+			done <- struct{}{}
+		}()
+	}
+	for range items {
+		<-done
+	}
+}
+
+// Cleanup defers over the iteration variable: the calls all run at
+// function exit, not per iteration.
+func Cleanup(files []string) {
+	for _, f := range files {
+		defer func() {
+			_ = f // WANT loopcapture
+		}()
+	}
+}
+
+// Safe passes the loop value as an argument.
+func Safe(items []int) {
+	for _, it := range items {
+		go func(v int) { _ = v }(it)
+	}
+}
+
+// SafeGo captures the per-iteration variable in a goroutine, fine since
+// Go 1.22 gave every iteration its own variable.
+func SafeGo(items []int) {
+	for _, it := range items {
+		go func() { _ = it }()
+	}
+}

@@ -1,0 +1,37 @@
+// Package mutexbad is a wormlint test fixture for the mutexcopy pass.
+// Lines the pass should report carry a "// WANT mutexcopy" marker.
+package mutexbad
+
+import "sync"
+
+// Counter guards a count with a mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Wrapped reaches the lock only through a nested field.
+type Wrapped struct{ inner Counter }
+
+// Peek copies its receiver — and with it the lock.
+func (c Counter) Peek() int { return c.n } // WANT mutexcopy
+
+// Inspect takes the counter by value.
+func Inspect(c Counter) int { return c.n } // WANT mutexcopy
+
+// Snapshot returns a nested lock by value.
+func Snapshot(w *Wrapped) Wrapped { return *w } // WANT mutexcopy
+
+// Grow is fine: pointer receiver.
+func (c *Counter) Grow() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// View is fine: pointer parameter.
+func View(c *Counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

@@ -348,7 +348,7 @@ func (n *Network) Step() error {
 	}
 	if n.cfg.WatchdogCycles > 0 && n.inFlight > 0 && n.now-n.lastMotion > n.cfg.WatchdogCycles {
 		err := &DeadlockError{Cycle: n.now - n.lastMotion, InFlight: n.inFlight, Detail: n.describeStuck(8)}
-		if n.tel.Tracing() {
+		if n.tel != nil && n.tel.Tracing() {
 			for i, w := range n.WormStates() {
 				if i >= 8 {
 					break

@@ -1,0 +1,85 @@
+package routing
+
+import (
+	"testing"
+
+	"wormsim/internal/message"
+	"wormsim/internal/rng"
+	"wormsim/internal/topology"
+)
+
+// fuzzGrids is a fixed palette of small grids; the fuzzer selects one by
+// index so every interesting shape (torus/mesh, even/odd radix, 1-3
+// dimensions) is reachable from a compact input.
+var fuzzGrids = []*topology.Grid{
+	topology.NewTorus(4, 2),
+	topology.NewTorus(6, 2),
+	topology.NewTorus(5, 2),
+	topology.NewMesh(4, 2),
+	topology.NewMesh(5, 2),
+	topology.NewTorus(4, 3),
+	topology.NewMesh(3, 3),
+	topology.NewTorus(8, 1),
+}
+
+// FuzzRouteStep drives one message along a random admissible walk under a
+// fuzzer-chosen algorithm, grid and pair, asserting the core routing
+// contract at every step: candidates are nonempty (no dead ends), minimal,
+// on existing channels and within the virtual-channel bound, and the walk
+// terminates at the destination in exactly the minimal hop count.
+func FuzzRouteStep(f *testing.F) {
+	names := Names()
+	f.Add(uint8(0), uint8(0), uint16(0), uint16(5), uint64(1))
+	f.Add(uint8(3), uint8(1), uint16(7), uint16(20), uint64(42))
+	f.Add(uint8(5), uint8(4), uint16(1), uint16(23), uint64(7))
+	f.Add(uint8(9), uint8(7), uint16(0), uint16(4), uint64(99))
+	f.Fuzz(func(t *testing.T, algRaw, gridRaw uint8, srcRaw, dstRaw uint16, seed uint64) {
+		name := names[int(algRaw)%len(names)]
+		g := fuzzGrids[int(gridRaw)%len(fuzzGrids)]
+		a, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Compatible(g) != nil {
+			t.Skip("algorithm not defined on this grid")
+		}
+		src := int(srcRaw) % g.Nodes()
+		dst := int(dstRaw) % g.Nodes()
+		if src == dst {
+			t.Skip("no routing for src == dst")
+		}
+		numVC := a.NumVCs(g)
+		r := rng.New(seed)
+		m := message.New(g, 0, src, dst, 4, 0, func(int) bool { return r.Bernoulli(0.5) })
+		a.Init(g, m)
+		cur := src
+		var cands []Candidate
+		for steps := 0; !m.Arrived(); steps++ {
+			if steps > m.HopsTotal {
+				t.Fatalf("%s on %v: %v exceeded minimal hop count at %d", name, g, m, cur)
+			}
+			cands = a.Candidates(g, m, cur, cands[:0])
+			if len(cands) == 0 {
+				t.Fatalf("%s on %v: dead end for %v at %d", name, g, m, cur)
+			}
+			for _, c := range cands {
+				if c.VC < 0 || c.VC >= numVC {
+					t.Fatalf("%s on %v: candidate %v class out of [0,%d)", name, g, c, numVC)
+				}
+				if dir, ok := m.DirInDim(c.Dim); !ok || dir != c.Dir {
+					t.Fatalf("%s on %v: non-minimal candidate %v for %v at %d", name, g, c, m, cur)
+				}
+				if !g.HasChannel(cur, c.Dim, c.Dir) {
+					t.Fatalf("%s on %v: candidate %v uses missing channel at %d", name, g, c, cur)
+				}
+			}
+			c := cands[r.Intn(len(cands))]
+			a.Allocated(g, m, cur, c)
+			m.Advance(g, c.Dim, c.Dir, g.Coord(cur, c.Dim), g.Parity(cur))
+			cur = g.Neighbor(cur, c.Dim, c.Dir)
+		}
+		if cur != dst {
+			t.Fatalf("%s on %v: walk %d->%d ended at %d", name, g, src, dst, cur)
+		}
+	})
+}

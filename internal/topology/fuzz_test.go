@@ -1,0 +1,93 @@
+package topology
+
+import "testing"
+
+// FuzzMinimalOffsets cross-checks the coordinate arithmetic that every
+// routing algorithm builds on: id/coordinate round-trips, minimality of
+// per-dimension offsets, consistency of Distance with Offset, and the
+// invariant that following any nonzero offset one hop brings the
+// destination exactly one hop closer.
+func FuzzMinimalOffsets(f *testing.F) {
+	f.Add(uint8(4), uint8(2), true, uint16(0), uint16(5))
+	f.Add(uint8(4), uint8(2), false, uint16(3), uint16(12))
+	f.Add(uint8(16), uint8(2), true, uint16(0), uint16(136)) // (0,0)->(8,8) half-ring tie
+	f.Add(uint8(2), uint8(1), true, uint16(0), uint16(1))
+	f.Add(uint8(5), uint8(3), false, uint16(7), uint16(99))
+	f.Fuzz(func(t *testing.T, kRaw, nRaw uint8, wrap bool, srcRaw, dstRaw uint16) {
+		k := 2 + int(kRaw)%15 // 2..16
+		n := 1 + int(nRaw)%3  // 1..3
+		var g *Grid
+		if wrap {
+			g = NewTorus(k, n)
+		} else {
+			g = NewMesh(k, n)
+		}
+		src := int(srcRaw) % g.Nodes()
+		dst := int(dstRaw) % g.Nodes()
+
+		coords := g.Coords(src, make([]int, n))
+		if id := g.ID(coords); id != src {
+			t.Fatalf("%v: ID(Coords(%d)) = %d", g, src, id)
+		}
+		for dim := 0; dim < n; dim++ {
+			if c := g.Coord(src, dim); c != coords[dim] {
+				t.Fatalf("%v: Coord(%d,%d) = %d, Coords gave %d", g, src, dim, c, coords[dim])
+			}
+		}
+
+		sum := 0
+		for dim := 0; dim < n; dim++ {
+			off := g.Offset(src, dst, dim)
+			abs := off
+			if abs < 0 {
+				abs = -abs
+			}
+			max := k - 1
+			if wrap {
+				max = k / 2
+			}
+			if abs > max {
+				t.Fatalf("%v: |Offset(%d,%d,%d)| = %d exceeds minimal bound %d", g, src, dst, dim, abs, max)
+			}
+			if g.TieInDim(src, dst, dim) {
+				if !wrap || k%2 != 0 || abs != k/2 {
+					t.Fatalf("%v: TieInDim(%d,%d,%d) but offset %d (k=%d, wrap=%v)", g, src, dst, dim, off, k, wrap)
+				}
+				if off != k/2 {
+					t.Fatalf("%v: half-ring tie not normalized to +k/2, got %d", g, off)
+				}
+			}
+			sum += abs
+		}
+		d := g.Distance(src, dst)
+		if d != sum {
+			t.Fatalf("%v: Distance(%d,%d) = %d, sum of |offsets| = %d", g, src, dst, d, sum)
+		}
+		if d > g.Diameter() {
+			t.Fatalf("%v: Distance(%d,%d) = %d exceeds diameter %d", g, src, dst, d, g.Diameter())
+		}
+		if src == dst && d != 0 {
+			t.Fatalf("%v: Distance(%d,%d) = %d, want 0", g, src, dst, d)
+		}
+
+		// Every nonzero offset direction is a productive first hop.
+		for dim := 0; dim < n; dim++ {
+			off := g.Offset(src, dst, dim)
+			if off == 0 {
+				continue
+			}
+			dir := Plus
+			if off < 0 {
+				dir = Minus
+			}
+			nb := g.Neighbor(src, dim, dir)
+			if nb < 0 {
+				t.Fatalf("%v: minimal hop %d%s from %d has no channel", g, dim, dir, src)
+			}
+			if nd := g.Distance(nb, dst); nd != d-1 {
+				t.Fatalf("%v: hop %d%s from %d toward %d: distance %d -> %d, want %d",
+					g, dim, dir, src, dst, d, nd, d-1)
+			}
+		}
+	})
+}

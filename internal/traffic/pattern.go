@@ -357,14 +357,14 @@ func Parse(g *topology.Grid, spec string) (Pattern, error) {
 		if len(parts) > 1 && parts[1] != "" {
 			f, err := strconv.ParseFloat(parts[1], 64)
 			if err != nil {
-				return nil, fmt.Errorf("traffic: bad hotspot fraction %q: %v", parts[1], err)
+				return nil, fmt.Errorf("traffic: bad hotspot fraction %q: %w", parts[1], err)
 			}
 			frac = f
 		}
 		if len(parts) > 2 {
 			n, err := strconv.Atoi(parts[2])
 			if err != nil {
-				return nil, fmt.Errorf("traffic: bad hotspot node %q: %v", parts[2], err)
+				return nil, fmt.Errorf("traffic: bad hotspot node %q: %w", parts[2], err)
 			}
 			hot = n
 		}
@@ -374,7 +374,7 @@ func Parse(g *topology.Grid, spec string) (Pattern, error) {
 		if len(parts) > 1 && parts[1] != "" {
 			rv, err := strconv.Atoi(parts[1])
 			if err != nil {
-				return nil, fmt.Errorf("traffic: bad local radius %q: %v", parts[1], err)
+				return nil, fmt.Errorf("traffic: bad local radius %q: %w", parts[1], err)
 			}
 			radius = rv
 		}

@@ -197,7 +197,7 @@ func ReadTrace(g *topology.Grid, name string, r io.Reader) (*Trace, error) {
 		var cycle int64
 		var src, dst int
 		if _, err := fmt.Sscan(text, &cycle, &src, &dst); err != nil {
-			return nil, fmt.Errorf("traffic: trace line %d: %v", line, err)
+			return nil, fmt.Errorf("traffic: trace line %d: %w", line, err)
 		}
 		cycles = append(cycles, cycle)
 		arrivals = append(arrivals, Arrival{Src: src, Dst: dst})
