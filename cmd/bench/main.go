@@ -1,0 +1,97 @@
+// Command bench is the benchmark-regression harness: it runs the suite of
+// engine and figure-point benchmarks in process, writes a schema-versioned
+// BENCH_<n>.json artifact, and compares against the previous artifact.
+//
+// Examples:
+//
+//	bench                      # full suite, BENCH_<n+1>.json, diff vs latest
+//	bench -short               # reduced suite for CI smoke runs
+//	bench -against BENCH_1.json -threshold 0.05 -failon
+//	bench -o /tmp/now.json -against ""   # measure only, no comparison
+//
+// The comparison is advisory by default (exit 0 even on regression); pass
+// -failon to turn flagged regressions into exit 1 for blocking CI gates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wormsim/internal/bench"
+)
+
+func main() {
+	short := flag.Bool("short", false, "run the reduced suite (8x8 networks, short methodology)")
+	dir := flag.String("dir", ".", "directory for BENCH_<n>.json artifacts")
+	out := flag.String("o", "", "output artifact path (default: next BENCH_<n>.json in -dir)")
+	against := flag.String("against", "", "previous artifact to compare with (default: latest BENCH_<n>.json in -dir; \"none\" disables)")
+	threshold := flag.Float64("threshold", 0.10, "tolerated fractional slowdown before flagging a regression")
+	failon := flag.Bool("failon", false, "exit nonzero when a regression is flagged (default: advisory)")
+	quiet := flag.Bool("q", false, "suppress per-benchmark progress lines")
+	flag.Parse()
+
+	logf := func(format string, args ...any) { fmt.Printf(format, args...) }
+	if *quiet {
+		logf = nil
+	}
+
+	// Resolve the comparison target before running, so a bad -against fails
+	// fast.
+	prevPath := *against
+	if prevPath == "" {
+		p, _, err := bench.Latest(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		prevPath = p // may stay "": first run has nothing to compare with
+	} else if prevPath == "none" {
+		prevPath = ""
+	}
+	var prev *bench.Artifact
+	if prevPath != "" {
+		a, err := bench.ReadArtifact(prevPath)
+		if err != nil {
+			fatal(err)
+		}
+		prev = &a
+	}
+
+	art := bench.Run(*short, logf)
+	art.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+
+	outPath := *out
+	if outPath == "" {
+		p, err := bench.NextPath(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		outPath = p
+	}
+	if err := bench.WriteArtifact(outPath, art); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, short=%v)\n", outPath, len(art.Benchmarks), art.Short)
+
+	if prev == nil {
+		fmt.Println("no previous artifact to compare against")
+		return
+	}
+	deltas, err := bench.Compare(*prev, art, *threshold)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\ncomparison against %s (threshold %.0f%%):\n%s", prevPath, *threshold*100, bench.FormatDeltas(deltas))
+	if reg := bench.Regressions(deltas); len(reg) > 0 {
+		fmt.Printf("%d regression(s) flagged\n", len(reg))
+		if *failon {
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"wormsim/internal/core"
+	"wormsim/internal/observatory"
 	"wormsim/internal/routing"
 	"wormsim/internal/telemetry"
 )
@@ -45,6 +46,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "collect telemetry; prints a per-point summary on stderr (json format embeds the full summary)")
 	tracePrefix := flag.String("trace", "", "write a Chrome trace per point to PREFIX-<alg>-<load>.json")
 	progress := flag.Bool("progress", false, "live sweep progress with ETA on stderr")
+	httpAddr := flag.String("http", "", "serve the live observatory (Prometheus /metrics, /snapshot, SSE /events, /heatmap, pprof) on this address, e.g. :8080")
+	flag.Int64Var(&cfg.TickCycles, "tick", 0, "observatory publication period in simulated cycles (default 1000)")
 	flag.Parse()
 	cfg.Switching = core.Switching(*sw)
 	cfg.Seed = *seed
@@ -58,6 +61,29 @@ func main() {
 		os.Exit(1)
 	}
 	algList := strings.Split(*algs, ",")
+
+	// The observatory publisher is shared across every point of the sweep:
+	// the snapshot follows whichever point published last, and completed
+	// points stream out as SSE "point" events.
+	var pub *observatory.Publisher
+	if *httpAddr != "" {
+		pub = observatory.NewPublisher()
+	}
+	if pub != nil {
+		pub.SetSweepTotal(len(algList) * len(loads))
+		pp := telemetry.NewPhaseProfiler()
+		pub.SetPhases(pp)
+		cfg.PhaseProf = pp
+		cfg.OnTick = pub.PublishTick
+		s, err := observatory.Listen(*httpAddr, pub)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		defer s.Close()
+		fmt.Fprintf(os.Stderr, "observatory serving on http://%s/\n", s.Addr())
+	}
+
 	var prog *telemetry.Progress
 	if *progress {
 		prog = telemetry.NewProgress(os.Stderr, "sweep", len(algList)*len(loads))
@@ -84,9 +110,14 @@ func main() {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	var onDone func(i int, r core.Result)
-	if prog != nil {
-		onDone = func(_ int, r core.Result) {
-			prog.Step(fmt.Sprintf("%s rho=%.2f lat=%.1f", r.Algorithm, r.OfferedLoad, r.AvgLatency))
+	if prog != nil || pub != nil {
+		onDone = func(i int, r core.Result) {
+			if pub != nil {
+				pub.PublishPoint(i, r)
+			}
+			if prog != nil {
+				prog.Step(fmt.Sprintf("%s rho=%.2f lat=%.1f", r.Algorithm, r.OfferedLoad, r.AvgLatency))
+			}
 		}
 	}
 	for _, alg := range algList {

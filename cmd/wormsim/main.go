@@ -9,6 +9,7 @@
 //	wormsim -alg nbc -pattern hotspot:0.04:255 -load 0.5 -seed 7
 //	wormsim -alg 2pn -switching vct -load 0.6
 //	wormsim -alg ecube -k 8 -mesh -pattern transpose -load 0.3
+//	wormsim -alg nbc -load 0.6 -http :8080 -linger 10m   # live observatory
 package main
 
 import (
@@ -17,9 +18,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"wormsim/internal/analysis"
 	"wormsim/internal/core"
+	"wormsim/internal/observatory"
 	"wormsim/internal/routing"
 	"wormsim/internal/telemetry"
 	"wormsim/internal/topology"
@@ -52,6 +55,10 @@ func main() {
 	traceFormat := flag.String("traceformat", "chrome", "trace file format: chrome or jsonl")
 	traceSample := flag.Int64("tracesample", 1, "trace every Nth worm")
 	progress := flag.Bool("progress", false, "live per-sample progress with ETA on stderr")
+	httpAddr := flag.String("http", "", "serve the live observatory (Prometheus /metrics, /snapshot, SSE /events, /heatmap, pprof) on this address, e.g. :8080")
+	flag.Int64Var(&cfg.TickCycles, "tick", 0, "observatory publication period in simulated cycles (default 1000)")
+	linger := flag.Duration("linger", 0, "keep the observatory server up this long after the run (e.g. 10m)")
+	phaseprof := flag.Bool("phaseprof", false, "profile engine wall time per pipeline phase and print the report")
 	configPath := flag.String("config", "", "JSON config file (explicit flags still override)")
 	saveConfig := flag.String("saveconfig", "", "write the effective config to this JSON file and exit")
 	flag.Parse()
@@ -133,6 +140,30 @@ func main() {
 		fmt.Printf("wrote %s\n", *saveConfig)
 		return
 	}
+	// The observatory: a publisher fed by the engine's tick hook, served
+	// over HTTP. The phase profiler rides along whenever either is wanted.
+	var pub *observatory.Publisher
+	var obsrv *observatory.Server
+	if *httpAddr != "" {
+		pub = observatory.NewPublisher()
+		s, err := observatory.Listen(*httpAddr, pub)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wormsim: %v\n", err)
+			os.Exit(1)
+		}
+		obsrv = s
+		fmt.Fprintf(os.Stderr, "observatory serving on http://%s/\n", s.Addr())
+	}
+	var pp *telemetry.PhaseProfiler
+	if *phaseprof || pub != nil {
+		pp = telemetry.NewPhaseProfiler()
+		cfg.PhaseProf = pp
+	}
+	if pub != nil {
+		pub.SetPhases(pp)
+		cfg.OnTick = pub.PublishTick
+	}
+
 	var prog *telemetry.Progress
 	if *progress {
 		eff := cfg
@@ -204,6 +235,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s (%s format)\n", len(res.TraceEvents), *tracePath, *traceFormat)
+	}
+	if *phaseprof && pp != nil {
+		fmt.Printf("\n%s", pp.Snapshot())
+	}
+	if obsrv != nil {
+		if *linger > 0 {
+			fmt.Fprintf(os.Stderr, "observatory lingering %v on http://%s/ (interrupt to exit)\n", *linger, obsrv.Addr())
+			time.Sleep(*linger)
+		}
+		obsrv.Close()
 	}
 	if res.Deadlocked {
 		os.Exit(2)

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// artifactRe matches harness artifacts: BENCH_<n>.json.
+var artifactRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// WriteArtifact writes a as indented JSON.
+func WriteArtifact(path string, a Artifact) error {
+	data, err := json.MarshalIndent(a, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadArtifact reads and schema-checks an artifact.
+func ReadArtifact(path string) (Artifact, error) {
+	var a Artifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return a, err
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return a, fmt.Errorf("%s: %w", path, err)
+	}
+	if a.Schema != Schema {
+		return a, fmt.Errorf("%s: schema %q, this harness speaks %q", path, a.Schema, Schema)
+	}
+	return a, nil
+}
+
+// Latest returns the highest-numbered BENCH_<n>.json in dir ("" when none
+// exists).
+func Latest(dir string) (path string, n int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := artifactRe.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		if v, _ := strconv.Atoi(m[1]); v >= n {
+			n = v
+			path = filepath.Join(dir, name)
+		}
+	}
+	return path, n, nil
+}
+
+// NextPath returns where the next artifact in dir should go (BENCH_<n+1>,
+// starting at BENCH_1).
+func NextPath(dir string) (string, error) {
+	_, n, err := Latest(dir)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n+1)), nil
+}
+
+// Delta is one benchmark's old-versus-new comparison.
+type Delta struct {
+	Name       string
+	OldNsPerOp float64
+	NewNsPerOp float64
+	// Ratio is new over old wall time (1.0 = unchanged, >1 slower).
+	Ratio float64
+	// Regressed marks ratios beyond the comparison threshold.
+	Regressed bool
+}
+
+// Compare diffs two artifacts benchmark-by-benchmark. threshold is the
+// tolerated fractional slowdown (0.1 = flag anything >10% slower).
+// Benchmarks present in only one artifact are skipped. Artifacts from
+// different suite sizes (Short flag) or schemas do not compare.
+func Compare(old, cur Artifact, threshold float64) ([]Delta, error) {
+	if old.Schema != cur.Schema {
+		return nil, fmt.Errorf("bench: schema mismatch: %q vs %q", old.Schema, cur.Schema)
+	}
+	if old.Short != cur.Short {
+		return nil, fmt.Errorf("bench: cannot compare short=%v against short=%v suites", cur.Short, old.Short)
+	}
+	prev := make(map[string]Measurement, len(old.Benchmarks))
+	for _, m := range old.Benchmarks {
+		prev[m.Name] = m
+	}
+	var out []Delta
+	for _, m := range cur.Benchmarks {
+		o, ok := prev[m.Name]
+		if !ok || o.NsPerOp <= 0 {
+			continue
+		}
+		d := Delta{
+			Name:       m.Name,
+			OldNsPerOp: o.NsPerOp,
+			NewNsPerOp: m.NsPerOp,
+			Ratio:      m.NsPerOp / o.NsPerOp,
+		}
+		d.Regressed = d.Ratio > 1+threshold
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// Regressions filters deltas down to the flagged ones.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FormatDeltas renders a comparison table.
+func FormatDeltas(deltas []Delta) string {
+	if len(deltas) == 0 {
+		return "no comparable benchmarks\n"
+	}
+	out := fmt.Sprintf("%-28s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, d := range deltas {
+		flag := ""
+		if d.Regressed {
+			flag = "  REGRESSION"
+		}
+		out += fmt.Sprintf("%-28s %14.0f %14.0f %7.2fx%s\n", d.Name, d.OldNsPerOp, d.NewNsPerOp, d.Ratio, flag)
+	}
+	return out
+}

@@ -98,6 +98,50 @@ type Config struct {
 	// the live-progress hook behind the CLIs' -progress flag. Not part of
 	// the persisted config.
 	OnSample func(SampleEvent) `json:"-"`
+	// OnTick, if set, is called every TickCycles simulated cycles (and once
+	// more at the end of the run with Final set) with a self-contained copy
+	// of the live engine state — the publication feed behind the CLIs'
+	// -http observatory server. The hook only receives copies and must not
+	// (and cannot, through the event) touch engine state, so an attached
+	// observer never perturbs results. Wormhole and vct engines only.
+	OnTick func(TickEvent) `json:"-"`
+	// TickCycles is the publication period for OnTick (default 1000).
+	TickCycles int64 `json:",omitempty"`
+	// PhaseProf, if set, attributes engine wall time per pipeline phase
+	// (see telemetry.PhaseProfiler). Shared across the runs of a sweep; its
+	// accumulators are atomic. Not part of the persisted config.
+	PhaseProf *telemetry.PhaseProfiler `json:"-"`
+}
+
+// TickEvent is one OnTick publication: the run's identity plus a deep copy
+// of the observable engine state at one cycle. Everything in it is owned by
+// the receiver — handing it to another goroutine is safe.
+type TickEvent struct {
+	// Identity of the run (the sweep CLI shares one hook across points).
+	Algorithm   string
+	Pattern     string
+	Switching   Switching
+	K, N        int
+	Mesh        bool
+	OfferedLoad float64
+	Seed        uint64
+
+	// Cycle is the engine clock; InFlight the number of live worms.
+	Cycle    int64
+	InFlight int
+	// Counters are the run's cumulative totals.
+	Counters network.Counters
+	// Worms is the canonical in-flight model (network.WormStates).
+	Worms []telemetry.WormState
+	// ChannelFlits is the lifetime per-channel-slot flit transfer vector.
+	ChannelFlits []int64
+	// Telemetry is the collector summary when Config.Telemetry is set.
+	Telemetry *telemetry.Summary
+	// Events holds the lifecycle events recorded since the previous tick
+	// (bounded to the most recent 64), when tracing is on.
+	Events []telemetry.Event
+	// Final marks the closing publication after the measurement loop.
+	Final bool
 }
 
 // SampleEvent reports one completed sampling period to Config.OnSample.
@@ -347,7 +391,7 @@ func Run(cfg Config) (Result, error) {
 			Grid: g, Algorithm: alg, Policy: policy, Workload: wl,
 			MsgLen: cfg.MsgLen, BufDepth: cfg.BufDepth, CCLimit: cfg.CCLimit,
 			InjectionPorts: cfg.InjectionPorts, RouteDelay: cfg.RouteDelay,
-			Seed: cfg.Seed, OnDeliver: onDeliver, Telemetry: tel,
+			Seed: cfg.Seed, OnDeliver: onDeliver, Telemetry: tel, Phases: cfg.PhaseProf,
 		})
 		if err != nil {
 			return res, err
@@ -367,10 +411,48 @@ func Run(cfg Config) (Result, error) {
 		return res, fmt.Errorf("core: unknown switching %q", cfg.Switching)
 	}
 
+	// The tick publication: every tickGap cycles OnTick receives a deep copy
+	// of the observable state (wormhole/vct only — the saf engine has no
+	// flit-level channels to publish).
+	var tickGap, sinceTick, lastRecorded int64
+	if cfg.OnTick != nil && wn != nil {
+		tickGap = cfg.TickCycles
+		if tickGap <= 0 {
+			tickGap = 1000
+		}
+	}
+	emitTick := func(final bool) {
+		ev := TickEvent{
+			Algorithm: cfg.Algorithm, Pattern: cfg.Pattern, Switching: cfg.Switching,
+			K: cfg.K, N: cfg.N, Mesh: cfg.Mesh, OfferedLoad: cfg.OfferedLoad, Seed: cfg.Seed,
+			Cycle: wn.Now(), InFlight: wn.InFlight(),
+			Counters:     wn.Total(),
+			Worms:        wn.WormStates(),
+			ChannelFlits: wn.ChannelFlitCounts(),
+			Final:        final,
+		}
+		if tel != nil {
+			ev.Telemetry = tel.Summary()
+			if fresh := tel.Recorded() - lastRecorded; fresh > 0 {
+				if fresh > 64 {
+					fresh = 64
+				}
+				ev.Events = tel.LastEvents(int(fresh))
+			}
+			lastRecorded = tel.Recorded()
+		}
+		cfg.OnTick(ev)
+	}
 	runFor := func(cycles int64) error {
 		for i := int64(0); i < cycles; i++ {
 			if err := st.Step(); err != nil {
 				return err
+			}
+			if tickGap > 0 {
+				if sinceTick++; sinceTick >= tickGap {
+					sinceTick = 0
+					emitTick(false)
+				}
 			}
 		}
 		return nil
@@ -416,6 +498,9 @@ func Run(cfg Config) (Result, error) {
 		if tel != nil {
 			res.Telemetry = tel.Summary()
 			res.TraceEvents = tel.Events()
+		}
+		if tickGap > 0 {
+			emitTick(true)
 		}
 	}
 

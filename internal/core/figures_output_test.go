@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFiguresOutputArtifact cross-checks the committed full-methodology run
+// (testdata/figures_output.txt, produced by cmd/figures) against the live
+// Figures() spec: every figure appears in order with its exact title, the
+// latency and utilization tables carry one column per algorithm in the
+// spec's presentation order and one parseable row per paper load, and the
+// peaks block names each algorithm exactly once. When the spec or the
+// report format changes, regenerate with `go run ./cmd/figures`.
+func TestFiguresOutputArtifact(t *testing.T) {
+	path := filepath.Join("testdata", "figures_output.txt")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Split the artifact into "# <id>: <title>" sections, preserving order.
+	type section struct {
+		header string
+		body   []string
+	}
+	var sections []section
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "# ") {
+			sections = append(sections, section{header: ln})
+			continue
+		}
+		if len(sections) == 0 {
+			t.Fatalf("content before first section header: %q", ln)
+		}
+		sections[len(sections)-1].body = append(sections[len(sections)-1].body, ln)
+	}
+
+	specs := Figures()
+	if len(sections) != len(specs) {
+		t.Fatalf("artifact has %d sections, spec has %d figures", len(sections), len(specs))
+	}
+	for i, spec := range specs {
+		sec := sections[i]
+		want := fmt.Sprintf("# %s: %s", spec.ID, spec.Title)
+		if sec.header != want {
+			t.Errorf("section %d header = %q, want %q", i, sec.header, want)
+			continue
+		}
+		checkFigureSection(t, spec, sec.body)
+	}
+}
+
+// checkFigureSection validates one figure's body: two data tables and the
+// peaks block.
+func checkFigureSection(t *testing.T, spec FigureSpec, body []string) {
+	t.Helper()
+	rest := body
+	for _, table := range []string{"average latency (cycles)", "achieved channel utilization"} {
+		if len(rest) == 0 || rest[0] != "## "+table {
+			t.Errorf("%s: expected %q, got %q", spec.ID, "## "+table, first(rest))
+			return
+		}
+		header := strings.Fields(rest[1])
+		wantHeader := append([]string{"offered"}, spec.Algorithms...)
+		if strings.Join(header, " ") != strings.Join(wantHeader, " ") {
+			t.Errorf("%s/%s: header %v, want %v", spec.ID, table, header, wantHeader)
+			return
+		}
+		rest = rest[2:]
+		for _, load := range spec.Loads {
+			fields := strings.Fields(first(rest))
+			if len(fields) != 1+len(spec.Algorithms) {
+				t.Errorf("%s/%s: row %q has %d fields, want %d", spec.ID, table, first(rest), len(fields), 1+len(spec.Algorithms))
+				return
+			}
+			for j, fld := range fields {
+				v, err := strconv.ParseFloat(fld, 64)
+				if err != nil || v < 0 {
+					t.Errorf("%s/%s: bad value %q in row %q", spec.ID, table, fld, first(rest))
+					return
+				}
+				if j == 0 && v != load {
+					t.Errorf("%s/%s: row offered %g, want %g", spec.ID, table, v, load)
+					return
+				}
+			}
+			rest = rest[1:]
+		}
+	}
+	if first(rest) != "## peaks" {
+		t.Errorf("%s: expected %q, got %q", spec.ID, "## peaks", first(rest))
+		return
+	}
+	rest = rest[1:]
+	seen := map[string]bool{}
+	for range spec.Algorithms {
+		fields := strings.Fields(first(rest))
+		// "  nbc     0.730 at offered 1.00"
+		if len(fields) != 5 || fields[2] != "at" || fields[3] != "offered" {
+			t.Errorf("%s/peaks: malformed line %q", spec.ID, first(rest))
+			return
+		}
+		if seen[fields[0]] {
+			t.Errorf("%s/peaks: algorithm %s listed twice", spec.ID, fields[0])
+		}
+		seen[fields[0]] = true
+		rest = rest[1:]
+	}
+	for _, alg := range spec.Algorithms {
+		if !seen[alg] {
+			t.Errorf("%s/peaks: algorithm %s missing", spec.ID, alg)
+		}
+	}
+	if len(rest) != 0 {
+		t.Errorf("%s: %d trailing lines after peaks, starting %q", spec.ID, len(rest), rest[0])
+	}
+}
+
+// first returns the head of lines, or "" at end of section.
+func first(lines []string) string {
+	if len(lines) == 0 {
+		return ""
+	}
+	return lines[0]
+}

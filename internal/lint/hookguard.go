@@ -6,29 +6,53 @@ import (
 	"go/types"
 )
 
-// HookGuard enforces the telemetry contract "disabled telemetry is one
-// branch per hook, never a panic": a *telemetry.Collector is nil whenever
-// collection is off, so every hook call site must be dominated by a nil
-// guard — either an enclosing `if c != nil { ... }` (conjunctions count) or
-// an earlier `if c == nil { return }` in the same function. Methods that
-// check their own receiver (telemetry.Collector.Tracing) are exempt, as is
-// the telemetry package itself.
-type HookGuard struct {
-	// TypePath/TypeName identify the hook receiver type whose call sites
-	// must be guarded.
+// HookType identifies one observability hook receiver type whose call sites
+// must be nil-guarded.
+type HookType struct {
+	// TypePath/TypeName identify the hook receiver type.
 	TypePath string
 	TypeName string
-	// NilSafe lists methods that are safe on a nil receiver.
+	// NilSafe lists methods that check their own receiver and are therefore
+	// safe to call unguarded.
 	NilSafe map[string]bool
 }
 
-// NewHookGuard guards wormsim's telemetry collector.
+// HookGuard enforces the observability contract "a disabled hook is one
+// branch per call site, never a panic": each registered hook pointer
+// (telemetry collector, phase timer, observatory publisher) is nil whenever
+// its feature is off, so every call site must be dominated by a nil guard —
+// either an enclosing `if c != nil { ... }` (conjunctions count) or an
+// earlier `if c == nil { return }` in the same function. Methods that check
+// their own receiver are exempt per type, as is each type's defining
+// package.
+type HookGuard struct {
+	Types []HookType
+}
+
+// NewHookGuard guards wormsim's observability hook types: the telemetry
+// collector and phase-profiling timer the engine calls every cycle, the
+// profiler handle itself, and the observatory publisher the CLIs feed.
 func NewHookGuard() *HookGuard {
-	return &HookGuard{
-		TypePath: "wormsim/internal/telemetry",
-		TypeName: "Collector",
-		NilSafe:  map[string]bool{"Tracing": true},
-	}
+	return &HookGuard{Types: []HookType{
+		{
+			TypePath: "wormsim/internal/telemetry",
+			TypeName: "Collector",
+			NilSafe:  map[string]bool{"Tracing": true, "Recorded": true, "Events": true, "LastEvents": true},
+		},
+		{
+			TypePath: "wormsim/internal/telemetry",
+			TypeName: "PhaseTimer",
+		},
+		{
+			TypePath: "wormsim/internal/telemetry",
+			TypeName: "PhaseProfiler",
+			NilSafe:  map[string]bool{"Timer": true},
+		},
+		{
+			TypePath: "wormsim/internal/observatory",
+			TypeName: "Publisher",
+		},
+	}}
 }
 
 // Name returns "hookguard".
@@ -36,14 +60,11 @@ func (*HookGuard) Name() string { return "hookguard" }
 
 // Doc describes the pass.
 func (h *HookGuard) Doc() string {
-	return "require telemetry hook call sites to be nil-guarded"
+	return "require telemetry/observatory hook call sites to be nil-guarded"
 }
 
 // Run reports unguarded hook calls.
 func (h *HookGuard) Run(p *Package) []Finding {
-	if p.Path == h.TypePath {
-		return nil // the collector's own methods receive the receiver
-	}
 	var out []Finding
 	for _, f := range p.Files {
 		walkStack(f, func(n ast.Node, stack []ast.Node) {
@@ -52,10 +73,14 @@ func (h *HookGuard) Run(p *Package) []Finding {
 				return
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || !h.isHookReceiver(p, sel.X) {
+			if !ok {
 				return
 			}
-			if h.NilSafe[sel.Sel.Name] {
+			ht := h.hookType(p, sel.X)
+			if ht == nil || ht.TypePath == p.Path {
+				return // not a hook, or the type's own package
+			}
+			if ht.NilSafe[sel.Sel.Name] {
 				return
 			}
 			recv := types.ExprString(sel.X)
@@ -63,29 +88,38 @@ func (h *HookGuard) Run(p *Package) []Finding {
 				return
 			}
 			out = append(out, p.finding(h.Name(), call,
-				"telemetry hook %s.%s is not nil-guarded; wrap it in `if %s != nil { ... }`",
-				recv, sel.Sel.Name, recv))
+				"%s hook %s.%s is not nil-guarded; wrap it in `if %s != nil { ... }`",
+				ht.TypeName, recv, sel.Sel.Name, recv))
 		})
 	}
 	return out
 }
 
-// isHookReceiver reports whether e has type *TypePath.TypeName.
-func (h *HookGuard) isHookReceiver(p *Package, e ast.Expr) bool {
+// hookType returns the registered hook type e points at, if any.
+func (h *HookGuard) hookType(p *Package, e ast.Expr) *HookType {
 	t := p.Info.TypeOf(e)
 	if t == nil {
-		return false
+		return nil
 	}
 	ptr, ok := t.(*types.Pointer)
 	if !ok {
-		return false
+		return nil
 	}
 	named, ok := ptr.Elem().(*types.Named)
 	if !ok {
-		return false
+		return nil
 	}
 	obj := named.Obj()
-	return obj.Name() == h.TypeName && obj.Pkg() != nil && obj.Pkg().Path() == h.TypePath
+	if obj.Pkg() == nil {
+		return nil
+	}
+	for i := range h.Types {
+		ht := &h.Types[i]
+		if obj.Name() == ht.TypeName && obj.Pkg().Path() == ht.TypePath {
+			return ht
+		}
+	}
+	return nil
 }
 
 // guardedByIf reports whether some enclosing if-statement's condition

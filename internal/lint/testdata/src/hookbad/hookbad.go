@@ -54,3 +54,41 @@ func (s *Sim) EarlyExit() {
 
 // NilSafe calls the one method that checks its own receiver.
 func (s *Sim) NilSafe() bool { return s.tel.Tracing() }
+
+// Router is a stand-in engine stage holding a phase-timer cursor.
+type Router struct {
+	prof  *telemetry.PhaseProfiler
+	timer *telemetry.PhaseTimer
+}
+
+// BadTimer calls the phase timer with no guard.
+func (r *Router) BadTimer() {
+	r.timer.Begin() // WANT hookguard
+}
+
+// BadProfiler reads the shared profiler with no guard.
+func (r *Router) BadProfiler() telemetry.PhaseSnapshot {
+	return r.prof.Snapshot() // WANT hookguard
+}
+
+// GuardedTimer wraps both phase hooks the canonical way.
+func (r *Router) GuardedTimer() {
+	if r.timer != nil {
+		r.timer.Begin()
+		r.timer.Mark(telemetry.PhaseRoute)
+	}
+}
+
+// TimerFromProfiler calls the nil-safe constructor on an unguarded
+// profiler; Timer checks its own receiver, so this is fine.
+func (r *Router) TimerFromProfiler() {
+	r.timer = r.prof.Timer()
+}
+
+// ProfilerEarlyExit guards the profiler with an up-front return.
+func (r *Router) ProfilerEarlyExit() int64 {
+	if r.prof == nil {
+		return 0
+	}
+	return r.prof.Snapshot().Cycles
+}

@@ -101,6 +101,12 @@ type Config struct {
 	// with the grid's channel slots and the algorithm's NumVCs). nil
 	// disables collection at near-zero cost: every hook is a nil check.
 	Telemetry *telemetry.Collector
+	// Phases, if set, attributes wall-clock time to the engine's pipeline
+	// stages (inject, route, eject, transfer, watchdog) — the self-profiling
+	// feed behind the CLIs' -phaseprof flag and the observatory's
+	// wormsim_phase_seconds_total metric. Like Telemetry, nil costs one
+	// branch per hook and an attached profiler never alters results.
+	Phases *telemetry.PhaseProfiler
 }
 
 // vc is the state of one input virtual-channel buffer (or injection slot).
@@ -172,6 +178,7 @@ type Network struct {
 	limiter *congestion.Limiter
 	rt      *rng.Stream
 	tel     *telemetry.Collector
+	prof    *telemetry.PhaseTimer
 
 	now        int64
 	nextMsgID  int64
@@ -241,6 +248,7 @@ func New(cfg Config) (*Network, error) {
 		limiter: congestion.NewLimiter(g.Nodes(), cfg.CCLimit),
 		rt:      rng.NewStream(cfg.Seed, 0x90f7),
 		tel:     cfg.Telemetry,
+		prof:    cfg.Phases.Timer(),
 	}
 	slots := g.ChannelSlots()
 	if n.tel != nil {
@@ -333,10 +341,25 @@ func (e *DeadlockError) Error() string {
 // consumption take one cycle, so an unloaded message's latency is exactly
 // eq. (2)'s (ml + d - 1) cycles.
 func (n *Network) Step() error {
+	if n.prof != nil {
+		n.prof.Begin()
+	}
 	n.inject()
+	if n.prof != nil {
+		n.prof.Mark(telemetry.PhaseInject)
+	}
 	n.allocate()
+	if n.prof != nil {
+		n.prof.Mark(telemetry.PhaseRoute)
+	}
 	n.eject()
+	if n.prof != nil {
+		n.prof.Mark(telemetry.PhaseEject)
+	}
 	moved := n.transfer()
+	if n.prof != nil {
+		n.prof.Mark(telemetry.PhaseTransfer)
+	}
 	if moved {
 		n.lastMotion = n.now
 	}
@@ -358,7 +381,13 @@ func (n *Network) Step() error {
 			err.Trace = n.tel.LastEvents(32)
 			err.Detail += "last trace events:\n" + telemetry.FormatEvents(err.Trace)
 		}
+		if n.prof != nil {
+			n.prof.Mark(telemetry.PhaseWatchdog)
+		}
 		return err
+	}
+	if n.prof != nil {
+		n.prof.Mark(telemetry.PhaseWatchdog)
 	}
 	return nil
 }

@@ -1,0 +1,150 @@
+package observatory
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"wormsim/internal/topology"
+)
+
+// WriteMetrics renders the current snapshot in the Prometheus text
+// exposition format (version 0.0.4). Before the first publication only
+// wormsim_observatory_up is exported. Output is a pure function of the
+// snapshot, so a deterministic run yields a byte-identical exposition — the
+// golden test in metrics_test.go holds it.
+func (p *Publisher) WriteMetrics(w io.Writer) error {
+	mw := &metricWriter{w: w}
+	mw.metric("wormsim_observatory_up", "gauge",
+		"Whether the observatory publisher is serving.", "", 1)
+
+	s := p.Snapshot()
+	if s == nil {
+		return mw.err
+	}
+	ev := s.Tick
+	t := ev.Counters
+
+	mw.metric("wormsim_run_info", "gauge",
+		"Identity of the run behind the current snapshot (value is always 1).",
+		fmt.Sprintf(`{algorithm=%q,pattern=%q,switching=%q,k="%d",n="%d",mesh="%v",load=%q,seed="%d"}`,
+			ev.Algorithm, ev.Pattern, string(ev.Switching), ev.K, ev.N, ev.Mesh,
+			formatFloat(ev.OfferedLoad), ev.Seed), 1)
+	mw.metric("wormsim_cycles_total", "counter",
+		"Simulated cycles completed by the current run.", "", float64(ev.Cycle))
+	mw.metric("wormsim_simulated_cycles_per_second", "gauge",
+		"Simulated-cycle rate estimated across the last two ticks.", "", s.CyclesPerSec)
+	mw.metric("wormsim_worms_in_flight", "gauge",
+		"Worms currently occupying network resources.", "", float64(ev.InFlight))
+	for _, c := range []struct {
+		event string
+		v     int64
+	}{{"generated", t.Generated}, {"admitted", t.Admitted}, {"dropped", t.Dropped}, {"delivered", t.Delivered}} {
+		mw.metric("wormsim_messages_total", "counter",
+			"Message lifecycle totals by event.",
+			fmt.Sprintf(`{event=%q}`, c.event), float64(c.v))
+	}
+	mw.metric("wormsim_flit_moves_total", "counter",
+		"Flit transfers across physical channels.", "", float64(t.FlitMoves))
+
+	if tel := ev.Telemetry; tel != nil {
+		mw.metric("wormsim_congestion_drops_total", "counter",
+			"Messages discarded by congestion control.", "", float64(tel.Drops))
+		for class, v := range tel.HeadBlockedByClass {
+			mw.metric("wormsim_head_blocked_cycles_total", "counter",
+				"Cycles a worm header bid for an output virtual channel and found none free, by routing class.",
+				fmt.Sprintf(`{class="%d"}`, class), float64(v))
+		}
+		for class, v := range tel.VCOccupancyMean {
+			mw.metric("wormsim_vc_occupancy_mean", "gauge",
+				"Mean owned virtual channels per routing class, sampled each cycle.",
+				fmt.Sprintf(`{class="%d"}`, class), v)
+		}
+		for class, v := range tel.VCOccupancyMax {
+			mw.metric("wormsim_vc_occupancy_max", "gauge",
+				"Peak owned virtual channels per routing class.",
+				fmt.Sprintf(`{class="%d"}`, class), v)
+		}
+		mw.metric("wormsim_injection_backlog_mean", "gauge",
+			"Mean admitted-but-not-fully-injected messages across all nodes.", "", tel.InjQueueMean)
+		mw.metric("wormsim_injection_backlog_max", "gauge",
+			"Peak admitted-but-not-fully-injected messages.", "", tel.InjQueueMax)
+		mw.metric("wormsim_trace_events_recorded", "gauge",
+			"Lifecycle trace events retained in the collector ring.", "", float64(tel.TraceEvents))
+
+		// Per-channel busy cycles, labeled with the channel's topology
+		// coordinates. A 16-ary 2-cube torus has 1024 channel slots; one
+		// series each is fine for a scrape.
+		g := grid(ev.K, ev.N, ev.Mesh)
+		for ch, busy := range tel.ChannelBusy {
+			if busy == 0 {
+				continue // idle channels stay out of the exposition
+			}
+			node, dim, dir := g.ChannelInfo(ch)
+			mw.metric("wormsim_channel_busy_cycles_total", "counter",
+				"Cycles each physical channel slot moved a flit (slots with zero traffic are omitted).",
+				fmt.Sprintf(`{ch="%d",node="%d",dim="%d",dir=%q}`, ch, node, dim, dirString(dir)), float64(busy))
+		}
+	}
+
+	if s.Phases != nil {
+		mw.metric("wormsim_phase_cycles_total", "counter",
+			"Engine cycles observed by the phase profiler.", "", float64(s.Phases.Cycles))
+		for _, ph := range s.Phases.Phases {
+			mw.metric("wormsim_phase_seconds_total", "counter",
+				"Engine wall time attributed to each pipeline phase.",
+				fmt.Sprintf(`{phase=%q}`, ph.Phase), float64(ph.Nanos)/1e9)
+		}
+	}
+
+	if s.SweepTotal > 0 {
+		mw.metric("wormsim_sweep_points_total", "gauge",
+			"Points in the running sweep.", "", float64(s.SweepTotal))
+		mw.metric("wormsim_sweep_points_done", "gauge",
+			"Sweep points completed so far.", "", float64(s.SweepDone))
+	}
+	return mw.err
+}
+
+// metricWriter writes exposition lines, emitting HELP/TYPE headers once per
+// metric family and remembering the first error.
+type metricWriter struct {
+	w        io.Writer
+	lastName string
+	err      error
+}
+
+func (mw *metricWriter) metric(name, kind, help, labels string, v float64) {
+	if mw.err != nil {
+		return
+	}
+	if name != mw.lastName {
+		_, mw.err = fmt.Fprintf(mw.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		if mw.err != nil {
+			return
+		}
+		mw.lastName = name
+	}
+	_, mw.err = fmt.Fprintf(mw.w, "%s%s %s\n", name, labels, formatFloat(v))
+}
+
+// formatFloat renders v the way Prometheus clients do: shortest
+// round-trippable decimal.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// grid rebuilds the run's topology for channel labeling.
+func grid(k, n int, mesh bool) *topology.Grid {
+	if mesh {
+		return topology.NewMesh(k, n)
+	}
+	return topology.NewTorus(k, n)
+}
+
+func dirString(d topology.Dir) string {
+	if d == topology.Plus {
+		return "+"
+	}
+	return "-"
+}

@@ -1,0 +1,139 @@
+package observatory
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wormsim/internal/core"
+	"wormsim/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedClock advances one second per reading, making the cycles/sec gauge a
+// pure function of the tick schedule.
+func fixedClock() func() time.Time {
+	t0 := time.Unix(1700000000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Second)
+	}
+}
+
+func testPublisher() *Publisher {
+	p := NewPublisher()
+	p.now = fixedClock()
+	return p
+}
+
+// goldenConfig is a small deterministic run: every tick, metric and trace
+// event is a pure function of this configuration.
+func goldenConfig() core.Config {
+	return core.Config{
+		K: 4, N: 2, Algorithm: "nbc", Pattern: "uniform", OfferedLoad: 0.5,
+		Seed: 7, WarmupCycles: 400, SampleCycles: 200, GapCycles: 100,
+		MinSamples: 2, MaxSamples: 3,
+		Telemetry:  &telemetry.Options{Metrics: true, Trace: true, TraceCap: 256},
+		TickCycles: 100,
+	}
+}
+
+func TestMetricsGolden(t *testing.T) {
+	pub := testPublisher()
+	pp := telemetry.NewPhaseProfilerClock(func() func() int64 {
+		var c int64
+		return func() int64 { c += 10; return c }
+	}())
+	pub.SetPhases(pp)
+	cfg := goldenConfig()
+	cfg.OnTick = pub.PublishTick
+	cfg.PhaseProf = pp
+	if _, err := core.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := pub.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("exposition drifted from %s (re-run with -update if intended)\ngot:\n%s", path, got)
+	}
+}
+
+func TestMetricsBeforeFirstTick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testPublisher().WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "wormsim_observatory_up 1") {
+		t.Errorf("missing up gauge:\n%s", out)
+	}
+	if strings.Contains(out, "wormsim_cycles_total") {
+		t.Errorf("run metrics exported before any tick:\n%s", out)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	pub := testPublisher()
+	pub.SetSweepTotal(3)
+	cfg := goldenConfig()
+	cfg.OnTick = pub.PublishTick
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.PublishPoint(0, res)
+
+	var buf bytes.Buffer
+	if err := pub.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`wormsim_run_info{algorithm="nbc",pattern="uniform",switching="wormhole",k="4",n="2",mesh="false",load="0.5",seed="7"} 1`,
+		"wormsim_simulated_cycles_per_second ",
+		"wormsim_worms_in_flight ",
+		`wormsim_messages_total{event="delivered"} `,
+		"wormsim_congestion_drops_total ",
+		`wormsim_head_blocked_cycles_total{class="0"} `,
+		`wormsim_vc_occupancy_mean{class="0"} `,
+		"wormsim_injection_backlog_mean ",
+		`wormsim_channel_busy_cycles_total{ch="`,
+		`dir="+"`,
+		"wormsim_sweep_points_total 3",
+		"wormsim_sweep_points_done 1",
+		"# TYPE wormsim_messages_total counter",
+		"# HELP wormsim_cycles_total ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// HELP/TYPE headers appear once per family even with many series.
+	if got := strings.Count(out, "# TYPE wormsim_messages_total counter"); got != 1 {
+		t.Errorf("messages_total TYPE header emitted %d times", got)
+	}
+}

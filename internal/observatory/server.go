@@ -1,0 +1,168 @@
+package observatory
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"wormsim/internal/viz"
+)
+
+// Server is the observatory's HTTP front end. It serves on its own
+// goroutines; the simulation never blocks on it (all shared state flows
+// through the Publisher's atomic snapshot and the drop-on-full SSE hub).
+type Server struct {
+	pub *Publisher
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Listen starts serving pub on addr (e.g. ":8080", or "127.0.0.1:0" to let
+// the kernel pick a test port). It also enables the runtime's block and
+// mutex profiles — the cost is only paid when an observatory is actually
+// attached.
+func Listen(addr string, pub *Publisher) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("observatory: %w", err)
+	}
+	runtime.SetBlockProfileRate(1000)
+	runtime.SetMutexProfileFraction(100)
+	s := &Server{pub: pub, ln: ln}
+	s.srv = &http.Server{Handler: s.mux(), ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // always returns ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all handler goroutines.
+func (s *Server) Close() error {
+	runtime.SetBlockProfileRate(0)
+	runtime.SetMutexProfileFraction(0)
+	return s.srv.Close()
+}
+
+func (s *Server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/heatmap", s.handleHeatmapPage)
+	mux.HandleFunc("/heatmap.svg", s.handleHeatmapSVG)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	status := "waiting for first tick"
+	if snap := s.pub.Snapshot(); snap != nil {
+		ev := snap.Tick
+		status = fmt.Sprintf("%s %s rho=%.2f — cycle %d, %d worms in flight",
+			ev.Algorithm, ev.Pattern, ev.OfferedLoad, ev.Cycle, ev.InFlight)
+		if snap.SweepTotal > 0 {
+			status += fmt.Sprintf(" — sweep %d/%d points done", snap.SweepDone, snap.SweepTotal)
+		}
+	}
+	fmt.Fprintf(w, `<!doctype html><meta charset="utf-8"><title>wormsim observatory</title>
+<body style="font-family:system-ui,sans-serif;background:#fcfcfb;color:#0b0b0b;margin:2rem">
+<h1 style="font-size:1.2rem">wormsim observatory</h1>
+<p style="color:#52514e">%s</p>
+<ul>
+<li><a href="/metrics">/metrics</a> — Prometheus exposition</li>
+<li><a href="/snapshot">/snapshot</a> — full state as JSON</li>
+<li><a href="/events">/events</a> — SSE stream (ticks, sweep points, sampled worm events)</li>
+<li><a href="/heatmap">/heatmap</a> — live channel-utilization heatmap</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — CPU, heap, block and mutex profiles</li>
+<li><a href="/debug/vars">/debug/vars</a> — expvar</li>
+</ul></body>
+`, status)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.pub.WriteMetrics(w) //nolint:errcheck // client gone; nothing to do
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	snap := s.pub.Snapshot()
+	if snap == nil {
+		http.Error(w, `{"error":"no tick published yet"}`, http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(snap) //nolint:errcheck
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	frames, cancel := s.pub.Subscribe()
+	defer cancel()
+	// Open with the current state so late joiners see something immediately.
+	if snap := s.pub.Snapshot(); snap != nil {
+		w.Write(tickMessage(snap.Tick, snap.CyclesPerSec)) //nolint:errcheck
+	}
+	fl.Flush()
+	for {
+		select {
+		case frame, ok := <-frames:
+			if !ok {
+				return
+			}
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHeatmapPage(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!doctype html><meta charset="utf-8"><meta http-equiv="refresh" content="2">
+<title>wormsim heatmap</title>
+<body style="font-family:system-ui,sans-serif;background:#fcfcfb;color:#0b0b0b;margin:2rem">
+<p style="color:#52514e"><a href="/">observatory</a> — refreshes every 2s; hover a cell for its flit count</p>
+<img src="/heatmap.svg" alt="per-node channel traffic heatmap">
+</body>
+`)
+}
+
+func (s *Server) handleHeatmapSVG(w http.ResponseWriter, _ *http.Request) {
+	snap := s.pub.Snapshot()
+	w.Header().Set("Content-Type", "image/svg+xml")
+	if snap == nil {
+		fmt.Fprint(w, `<svg xmlns="http://www.w3.org/2000/svg" width="320" height="48"><text x="16" y="28" font-family="system-ui,sans-serif" font-size="13" fill="#52514e">waiting for first tick</text></svg>`)
+		return
+	}
+	ev := snap.Tick
+	title := fmt.Sprintf("%s %s rho=%.2f — cycle %d", ev.Algorithm, ev.Pattern, ev.OfferedLoad, ev.Cycle)
+	fmt.Fprint(w, viz.HeatmapSVG(grid(ev.K, ev.N, ev.Mesh), ev.ChannelFlits, title))
+}

@@ -193,6 +193,17 @@ func (c *Collector) Kill(cycle, msg int64, node int) {
 	}
 }
 
+// Recorded returns the lifetime count of trace events recorded, including
+// ones the ring has since evicted — a monotone cursor that lets periodic
+// consumers (the observatory's tick publication) fetch only events newer
+// than their previous read via LastEvents.
+func (c *Collector) Recorded() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.evicted + int64(c.n)
+}
+
 // Events returns the retained trace events in chronological order.
 func (c *Collector) Events() []Event {
 	if c == nil || c.n == 0 {

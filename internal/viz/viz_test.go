@@ -123,3 +123,39 @@ func TestBarChart(t *testing.T) {
 		t.Errorf("zero value rendered a bar: %q", out)
 	}
 }
+
+func TestHeatmapSVG(t *testing.T) {
+	g := topology.NewTorus(4, 2)
+	counts := make([]int64, g.ChannelSlots())
+	counts[g.ChannelIndex(5, 0, topology.Plus)] = 200
+	counts[g.ChannelIndex(5, 1, topology.Minus)] = 50
+	svg := HeatmapSVG(g, counts, `load 0.5 <"hot">`)
+	if !strings.HasPrefix(svg, "<svg ") || !strings.HasSuffix(svg, "</svg>\n") {
+		t.Fatalf("not a standalone SVG document:\n%.120s", svg)
+	}
+	// 16 node cells + 13 legend swatches + 1 background rect.
+	if got := strings.Count(svg, "<rect "); got != 16+13+1 {
+		t.Errorf("rect count = %d, want 30", got)
+	}
+	if !strings.Contains(svg, "<title>node (1,1): 250 flits</title>") {
+		t.Errorf("missing tooltip for busiest node:\n%s", svg)
+	}
+	// Busiest node takes the darkest ramp step; idle nodes the lightest.
+	if !strings.Contains(svg, "#0d366b") || !strings.Contains(svg, "#cde2fb") {
+		t.Error("ramp extremes not used")
+	}
+	if !strings.Contains(svg, "load 0.5 &lt;&quot;hot&quot;&gt;") {
+		t.Error("title not XML-escaped")
+	}
+	if svg != HeatmapSVG(g, counts, `load 0.5 <"hot">`) {
+		t.Error("output not deterministic")
+	}
+}
+
+func TestHeatmapSVGNon2D(t *testing.T) {
+	g := topology.NewTorus(4, 3)
+	svg := HeatmapSVG(g, make([]int64, g.ChannelSlots()), "t")
+	if !strings.Contains(svg, "needs a 2-D grid") {
+		t.Errorf("expected placeholder for 3-D grid:\n%s", svg)
+	}
+}
