@@ -6,11 +6,14 @@
 //
 //	bench                      # full suite, BENCH_<n+1>.json, diff vs latest
 //	bench -short               # reduced suite for CI smoke runs
-//	bench -against BENCH_1.json -threshold 0.05 -failon
-//	bench -o /tmp/now.json -against ""   # measure only, no comparison
+//	bench -against BENCH_1.json -threshold 0.05 -failon time
+//	bench -short -failon allocs          # the blocking CI gate
+//	bench -o /tmp/now.json -against none # measure only, no comparison
 //
 // The comparison is advisory by default (exit 0 even on regression); pass
-// -failon to turn flagged regressions into exit 1 for blocking CI gates.
+// -failon time|allocs|all to turn the selected regression class into exit 1
+// for blocking CI gates. Allocation counts are reproducible where wall time
+// is hardware-noisy, so CI blocks on allocs and stays advisory on time.
 package main
 
 import (
@@ -28,9 +31,14 @@ func main() {
 	out := flag.String("o", "", "output artifact path (default: next BENCH_<n>.json in -dir)")
 	against := flag.String("against", "", "previous artifact to compare with (default: latest BENCH_<n>.json in -dir; \"none\" disables)")
 	threshold := flag.Float64("threshold", 0.10, "tolerated fractional slowdown before flagging a regression")
-	failon := flag.Bool("failon", false, "exit nonzero when a regression is flagged (default: advisory)")
+	failonFlag := flag.String("failon", "none", "regression class that exits nonzero: none, time, allocs or all")
 	quiet := flag.Bool("q", false, "suppress per-benchmark progress lines")
 	flag.Parse()
+
+	failon, err := bench.ParseFailOn(*failonFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	logf := func(format string, args ...any) { fmt.Printf(format, args...) }
 	if *quiet {
@@ -83,11 +91,12 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("\ncomparison against %s (threshold %.0f%%):\n%s", prevPath, *threshold*100, bench.FormatDeltas(deltas))
-	if reg := bench.Regressions(deltas); len(reg) > 0 {
-		fmt.Printf("%d regression(s) flagged\n", len(reg))
-		if *failon {
-			os.Exit(1)
-		}
+	if adv := bench.Regressions(deltas, bench.FailAll); len(adv) > 0 {
+		fmt.Printf("%d regression(s) flagged\n", len(adv))
+	}
+	if blocking := bench.Regressions(deltas, failon); len(blocking) > 0 {
+		fmt.Printf("%d blocking (-failon %s)\n", len(blocking), failon)
+		os.Exit(1)
 	}
 }
 

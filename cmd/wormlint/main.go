@@ -1,7 +1,7 @@
 // Command wormlint runs wormsim's domain-specific static-analysis suite
-// (see internal/lint): determinism of the simulation core, nil-guarded
-// telemetry hooks, lock-copy and loop-capture hazards, and error-message
-// conventions.
+// (see internal/lint): determinism of the simulation core, zero-alloc
+// discipline on the engine's per-cycle call graph, nil-guarded telemetry
+// hooks, lock-copy and loop-capture hazards, and error-message conventions.
 //
 //	wormlint ./...              # whole repo (the CI gate)
 //	wormlint ./internal/core    # one package

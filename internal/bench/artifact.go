@@ -80,12 +80,22 @@ type Delta struct {
 	NewNsPerOp float64
 	// Ratio is new over old wall time (1.0 = unchanged, >1 slower).
 	Ratio float64
-	// Regressed marks ratios beyond the comparison threshold.
+	// Regressed marks time ratios beyond the comparison threshold. Wall
+	// time is hardware-noisy, so CI treats this as advisory.
 	Regressed bool
+	// Allocator cost comparison. Allocations per op are near-deterministic
+	// (the engine's steady state is exactly zero), so AllocsRegressed is a
+	// blocking signal where time is not.
+	OldAllocsPerOp  float64
+	NewAllocsPerOp  float64
+	AllocsRegressed bool
 }
 
 // Compare diffs two artifacts benchmark-by-benchmark. threshold is the
-// tolerated fractional slowdown (0.1 = flag anything >10% slower).
+// tolerated fractional slowdown (0.1 = flag anything >10% slower); an
+// allocs/op regression needs both the fractional threshold and an absolute
+// rise of half an allocation per op, so a first steady-state allocation
+// (0 -> 1) trips it but whole-run MemStats jitter does not.
 // Benchmarks present in only one artifact are skipped. Artifacts from
 // different suite sizes (Short flag) or schemas do not compare.
 func Compare(old, cur Artifact, threshold float64) ([]Delta, error) {
@@ -106,22 +116,56 @@ func Compare(old, cur Artifact, threshold float64) ([]Delta, error) {
 			continue
 		}
 		d := Delta{
-			Name:       m.Name,
-			OldNsPerOp: o.NsPerOp,
-			NewNsPerOp: m.NsPerOp,
-			Ratio:      m.NsPerOp / o.NsPerOp,
+			Name:           m.Name,
+			OldNsPerOp:     o.NsPerOp,
+			NewNsPerOp:     m.NsPerOp,
+			Ratio:          m.NsPerOp / o.NsPerOp,
+			OldAllocsPerOp: o.AllocsPerOp,
+			NewAllocsPerOp: m.AllocsPerOp,
 		}
 		d.Regressed = d.Ratio > 1+threshold
+		rise := m.AllocsPerOp - o.AllocsPerOp
+		d.AllocsRegressed = rise > 0.5 && m.AllocsPerOp > o.AllocsPerOp*(1+threshold)
 		out = append(out, d)
 	}
 	return out, nil
 }
 
-// Regressions filters deltas down to the flagged ones.
-func Regressions(deltas []Delta) []Delta {
+// FailOn selects which regression classes Regressions reports (and so which
+// ones cmd/bench -failon turns into a nonzero exit).
+type FailOn string
+
+const (
+	// FailNone reports nothing: the comparison is purely advisory.
+	FailNone FailOn = "none"
+	// FailTime reports wall-time regressions.
+	FailTime FailOn = "time"
+	// FailAllocs reports allocs/op regressions — the blocking CI gate,
+	// because allocation counts are reproducible where wall time is not.
+	FailAllocs FailOn = "allocs"
+	// FailAll reports both classes.
+	FailAll FailOn = "all"
+)
+
+// ParseFailOn validates a -failon flag value ("" means none).
+func ParseFailOn(s string) (FailOn, error) {
+	switch f := FailOn(s); f {
+	case "", FailNone:
+		return FailNone, nil
+	case FailTime, FailAllocs, FailAll:
+		return f, nil
+	}
+	return FailNone, fmt.Errorf("bench: -failon %q: want none, time, allocs or all", s)
+}
+
+// Regressions filters deltas down to the ones flagged in the selected
+// classes.
+func Regressions(deltas []Delta, mode FailOn) []Delta {
 	var out []Delta
 	for _, d := range deltas {
-		if d.Regressed {
+		time := d.Regressed && (mode == FailTime || mode == FailAll)
+		allocs := d.AllocsRegressed && (mode == FailAllocs || mode == FailAll)
+		if time || allocs {
 			out = append(out, d)
 		}
 	}
@@ -133,13 +177,18 @@ func FormatDeltas(deltas []Delta) string {
 	if len(deltas) == 0 {
 		return "no comparable benchmarks\n"
 	}
-	out := fmt.Sprintf("%-28s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	out := fmt.Sprintf("%-28s %14s %14s %8s %12s %12s\n",
+		"benchmark", "old ns/op", "new ns/op", "ratio", "old allocs", "new allocs")
 	for _, d := range deltas {
 		flag := ""
 		if d.Regressed {
-			flag = "  REGRESSION"
+			flag += "  TIME-REGRESSION"
 		}
-		out += fmt.Sprintf("%-28s %14.0f %14.0f %7.2fx%s\n", d.Name, d.OldNsPerOp, d.NewNsPerOp, d.Ratio, flag)
+		if d.AllocsRegressed {
+			flag += "  ALLOC-REGRESSION"
+		}
+		out += fmt.Sprintf("%-28s %14.0f %14.0f %7.2fx %12.0f %12.0f%s\n",
+			d.Name, d.OldNsPerOp, d.NewNsPerOp, d.Ratio, d.OldAllocsPerOp, d.NewAllocsPerOp, flag)
 	}
 	return out
 }

@@ -54,6 +54,9 @@ type Artifact struct {
 	GOOS       string
 	GOARCH     string
 	GOMAXPROCS int
+	// NumCPU is the host's logical CPU count — the ceiling on what the
+	// sweep/scale specs can demonstrate.
+	NumCPU int `json:",omitempty"`
 	// Short marks the reduced suite (-short): smaller networks, shorter
 	// methodology. Compare refuses to diff short against full artifacts.
 	Short      bool
@@ -139,6 +142,48 @@ func pointSpec(name string, cfg core.Config) Spec {
 	}}
 }
 
+// sweepScaleSpec measures the work-stealing run scheduler: wall time of one
+// fixed multi-load sweep at the given worker count, with GOMAXPROCS pinned
+// to four for the duration so the 1-worker and 4-worker entries are
+// comparable. The ratio sweep/scale/workers=1 : sweep/scale/workers=4 is
+// the scheduler's parallel speedup; on a host with four or more cores it
+// should exceed 1.8x (on fewer cores the OS timeshares the workers and the
+// ratio degrades toward 1.0 — check the artifact's NumCPU field).
+func sweepScaleSpec(short bool, workers int) Spec {
+	name := fmt.Sprintf("sweep/scale/workers=%d", workers)
+	return Spec{Name: name, Run: func() Measurement {
+		prev := runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+		cfg := pointBase(short)
+		cfg.Algorithm = "nbc"
+		cfg.Pattern = "uniform"
+		cfg.Switching = core.Wormhole
+		loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		results, err := core.SweepN(cfg, loads, workers)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			panic(fmt.Sprintf("bench %s: %v", name, err))
+		}
+		ns := float64(elapsed.Nanoseconds())
+		var cycles int64
+		for _, r := range results {
+			cycles += r.Cycles
+		}
+		return Measurement{
+			Name:         name,
+			NsPerOp:      ns,
+			AllocsPerOp:  float64(ms1.Mallocs - ms0.Mallocs),
+			BytesPerOp:   float64(ms1.TotalAlloc - ms0.TotalAlloc),
+			CyclesPerSec: perSec(float64(cycles), ns),
+		}
+	}}
+}
+
 func fromResult(name string, r testing.BenchmarkResult) Measurement {
 	return Measurement{
 		Name:        name,
@@ -210,6 +255,7 @@ func Specs(short bool) []Spec {
 	point("point/fig3/ecube/rho=0.6", "ecube", "uniform", core.Wormhole, 0.6)
 	point("point/fig4/nbc/rho=0.3", "nbc", "hotspot", core.Wormhole, 0.3)
 	point("point/vct/2pn/rho=0.6", "2pn", "uniform", core.CutThrough, 0.6)
+	specs = append(specs, sweepScaleSpec(short, 1), sweepScaleSpec(short, 4))
 	return specs
 }
 
@@ -222,6 +268,7 @@ func Run(short bool, logf func(format string, args ...any)) Artifact {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Short:      short,
 	}
 	for _, s := range Specs(short) {

@@ -92,12 +92,42 @@ func TestCompare(t *testing.T) {
 	if deltas[1].Regressed {
 		t.Errorf("speedup flagged as regression: %+v", deltas[1])
 	}
-	if got := Regressions(deltas); len(got) != 1 || got[0].Name != "engine/nbc" {
-		t.Errorf("regressions: %+v", got)
+	if got := Regressions(deltas, FailTime); len(got) != 1 || got[0].Name != "engine/nbc" {
+		t.Errorf("time regressions: %+v", got)
+	}
+	if got := Regressions(deltas, FailAllocs); len(got) != 0 {
+		t.Errorf("alloc regressions flagged without an allocs rise: %+v", got)
+	}
+	if got := Regressions(deltas, FailNone); len(got) != 0 {
+		t.Errorf("advisory mode reported regressions: %+v", got)
 	}
 	table := FormatDeltas(deltas)
-	if !strings.Contains(table, "REGRESSION") || !strings.Contains(table, "engine/nbc") {
+	if !strings.Contains(table, "TIME-REGRESSION") || !strings.Contains(table, "engine/nbc") {
 		t.Errorf("table:\n%s", table)
+	}
+
+	// Allocation gate: a first steady-state allocation (0 -> 1) blocks even
+	// though the absolute rise is tiny, while whole-run MemStats jitter
+	// (under the fractional threshold) stays quiet.
+	old = sampleArtifact()
+	old.Benchmarks[0].AllocsPerOp = 0
+	old.Benchmarks[1].AllocsPerOp = 50000
+	cur = sampleArtifact()
+	cur.Benchmarks[0].AllocsPerOp = 1
+	cur.Benchmarks[1].AllocsPerOp = 51000 // 2% jitter: under the 10% threshold
+	deltas, err = Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Regressions(deltas, FailAllocs)
+	if len(got) != 1 || got[0].Name != "engine/nbc" || !got[0].AllocsRegressed {
+		t.Errorf("alloc regressions: %+v", got)
+	}
+	if table := FormatDeltas(deltas); !strings.Contains(table, "ALLOC-REGRESSION") {
+		t.Errorf("table missing alloc flag:\n%s", table)
+	}
+	if got := Regressions(deltas, FailAll); len(got) != 1 {
+		t.Errorf("all-mode regressions: %+v", got)
 	}
 
 	// Guard rails: mismatched schema or suite size refuse to compare.
@@ -110,6 +140,26 @@ func TestCompare(t *testing.T) {
 	bad.Schema = "other/1"
 	if _, err := Compare(old, bad, 0.1); err == nil {
 		t.Error("cross-schema comparison accepted")
+	}
+}
+
+func TestParseFailOn(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want FailOn
+		ok   bool
+	}{
+		{"", FailNone, true},
+		{"none", FailNone, true},
+		{"time", FailTime, true},
+		{"allocs", FailAllocs, true},
+		{"all", FailAll, true},
+		{"bogus", FailNone, false},
+	} {
+		got, err := ParseFailOn(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseFailOn(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
 	}
 }
 

@@ -9,9 +9,17 @@ package congestion
 // Limiter tracks per-node, per-class counts of messages resident at their
 // source (accepted but with tail not yet injected). A nil *Limiter disables
 // congestion control (everything is admitted).
+//
+// Counts live in one flat slice indexed node*classCap+class — message
+// classes are small consecutive integers (virtual-channel numbers or hop
+// counts), so a dense table beats a per-node map on the engine's admit
+// path. The class capacity doubles on demand for the rare algorithm whose
+// classes exceed the initial headroom.
 type Limiter struct {
 	limit    int
-	counts   []map[int]int
+	nodes    int
+	classCap int
+	counts   []int32
 	accepted int64
 	dropped  int64
 	// droppedBy localizes discards per source node, the observable that
@@ -25,11 +33,26 @@ func NewLimiter(nodes, limit int) *Limiter {
 	if limit <= 0 {
 		return nil
 	}
-	l := &Limiter{limit: limit, counts: make([]map[int]int, nodes), droppedBy: make([]int64, nodes)}
-	for i := range l.counts {
-		l.counts[i] = make(map[int]int)
+	const initialClassCap = 8
+	return &Limiter{
+		limit: limit, nodes: nodes, classCap: initialClassCap,
+		counts:    make([]int32, nodes*initialClassCap),
+		droppedBy: make([]int64, nodes),
 	}
-	return l
+}
+
+// growClasses widens the per-node class table to hold class.
+func (l *Limiter) growClasses(class int) {
+	newCap := l.classCap * 2
+	for newCap <= class {
+		newCap *= 2
+	}
+	counts := make([]int32, l.nodes*newCap)
+	for node := 0; node < l.nodes; node++ {
+		copy(counts[node*newCap:], l.counts[node*l.classCap:(node+1)*l.classCap])
+	}
+	l.classCap = newCap
+	l.counts = counts
 }
 
 // Limit returns the per-class limit (0 for a nil limiter).
@@ -46,12 +69,16 @@ func (l *Limiter) Admit(node, class int) bool {
 	if l == nil {
 		return true
 	}
-	if l.counts[node][class] >= l.limit {
+	if class >= l.classCap {
+		l.growClasses(class)
+	}
+	idx := node*l.classCap + class
+	if int(l.counts[idx]) >= l.limit {
 		l.dropped++
 		l.droppedBy[node]++
 		return false
 	}
-	l.counts[node][class]++
+	l.counts[idx]++
 	l.accepted++
 	return true
 }
@@ -62,20 +89,20 @@ func (l *Limiter) Release(node, class int) {
 	if l == nil {
 		return
 	}
-	c := l.counts[node][class]
-	if c <= 0 {
+	idx := node*l.classCap + class
+	if l.counts[idx] <= 0 {
 		panic("congestion: release without matching admit")
 	}
-	l.counts[node][class] = c - 1
+	l.counts[idx]--
 }
 
 // Resident returns the number of admitted-but-unsent messages of class at
 // node.
 func (l *Limiter) Resident(node, class int) int {
-	if l == nil {
+	if l == nil || class >= l.classCap {
 		return 0
 	}
-	return l.counts[node][class]
+	return int(l.counts[node*l.classCap+class])
 }
 
 // Accepted returns the total number of admitted messages.

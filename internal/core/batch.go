@@ -124,6 +124,41 @@ func RunBatch(cfg Config, wl traffic.Workload, lastArrival int64, drainBudget in
 	return res, nil
 }
 
+// ReplicateBatch runs the permutation-burst experiment once per seed on the
+// work-stealing scheduler and returns the replicas in seed order — the
+// spread of makespans across seeds is the batch experiments' error bar.
+// Results are identical to running each seed sequentially (every replica is
+// an independent single-threaded simulation).
+func ReplicateBatch(cfg Config, patternSpec string, seeds []uint64, workers int, drainBudget int64) ([]BatchResult, error) {
+	out := make([]BatchResult, len(seeds))
+	errs := make([]error, len(seeds))
+	s := NewScheduler(workers)
+	for j := range seeds {
+		j := j
+		s.Submit(func(int) {
+			c := cfg
+			c.Seed = seeds[j]
+			burst, err := PermutationBurst(c, patternSpec)
+			if err != nil {
+				errs[j] = err
+				return
+			}
+			r, err := RunBatch(c, burst, burst.LastCycle(), drainBudget)
+			out[j] = r
+			if err != nil {
+				errs[j] = fmt.Errorf("core: batch replica seed=%#x: %w", seeds[j], err)
+			}
+		})
+	}
+	s.Close()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
 // PermutationBurst builds a trace that injects every source's message for
 // the named permutation pattern at cycle 0 — the "how fast does one
 // all-at-once permutation complete" experiment.

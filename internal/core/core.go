@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"wormsim/internal/message"
 	"wormsim/internal/network"
@@ -591,41 +590,33 @@ func SweepN(cfg Config, loads []float64, workers int) ([]Result, error) {
 // SweepObserved is SweepN with a completion callback: onDone is invoked once
 // per finished point with its load index and result, from the finishing
 // worker's goroutine (the callback must be safe for concurrent use —
-// telemetry.Progress is). It backs the CLIs' -progress flag.
+// telemetry.Progress is). It backs the CLIs' -progress flag. The points run
+// on a work-stealing Scheduler; Config hooks (OnSample, OnTick, a shared
+// PhaseProf) fire from whichever worker runs the point, so shared hooks must
+// be safe for concurrent use.
 func SweepObserved(cfg Config, loads []float64, workers int, onDone func(i int, r Result)) ([]Result, error) {
-	if workers < 1 {
-		workers = 1
-	}
 	if workers > len(loads) {
 		workers = len(loads)
 	}
 	results := make([]Result, len(loads))
 	errs := make([]error, len(loads))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				c := cfg
-				c.OfferedLoad = loads[i]
-				r, err := Run(c)
-				results[i] = r
-				if err != nil && !r.Deadlocked {
-					errs[i] = fmt.Errorf("core: sweep at rho=%.3g: %w", loads[i], err)
-				}
-				if onDone != nil {
-					onDone(i, r)
-				}
-			}
-		}()
-	}
+	s := NewScheduler(workers)
 	for i := range loads {
-		next <- i
+		i := i
+		s.Submit(func(int) {
+			c := cfg
+			c.OfferedLoad = loads[i]
+			r, err := Run(c)
+			results[i] = r
+			if err != nil && !r.Deadlocked {
+				errs[i] = fmt.Errorf("core: sweep at rho=%.3g: %w", loads[i], err)
+			}
+			if onDone != nil {
+				onDone(i, r)
+			}
+		})
 	}
-	close(next)
-	wg.Wait()
+	s.Close()
 	for _, err := range errs {
 		if err != nil {
 			return results, err

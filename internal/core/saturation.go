@@ -63,3 +63,41 @@ func FindSaturation(cfg Config, lo, hi, tol, slack float64) (load float64, at Re
 	}
 	return load, best, nil
 }
+
+// SaturationPoint is one algorithm's saturation knee.
+type SaturationPoint struct {
+	Algorithm string
+	Load      float64
+	At        Result
+}
+
+// FindSaturationSet locates the saturation load of several algorithms under
+// the same configuration, running the searches concurrently on one
+// work-stealing scheduler (each search's bisection is inherently sequential,
+// but the searches are independent and their costs skew with how early each
+// algorithm saturates). Results come back in algorithm order and are
+// identical to calling FindSaturation per algorithm.
+func FindSaturationSet(cfg Config, algorithms []string, lo, hi, tol, slack float64, workers int) ([]SaturationPoint, error) {
+	out := make([]SaturationPoint, len(algorithms))
+	errs := make([]error, len(algorithms))
+	s := NewScheduler(workers)
+	for i, alg := range algorithms {
+		i, alg := i, alg
+		s.Submit(func(int) {
+			c := cfg
+			c.Algorithm = alg
+			load, at, err := FindSaturation(c, lo, hi, tol, slack)
+			out[i] = SaturationPoint{Algorithm: alg, Load: load, At: at}
+			if err != nil {
+				errs[i] = fmt.Errorf("core: saturation search for %s: %w", alg, err)
+			}
+		})
+	}
+	s.Close()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

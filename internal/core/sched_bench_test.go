@@ -1,0 +1,32 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkSweepWorkers is the scheduler's scaling benchmark: one fixed
+// multi-load sweep per iteration, at 1 and 4 workers with GOMAXPROCS pinned
+// to 4 so the two sub-benchmarks are comparable. Every sweep point is an
+// independent single-threaded simulation, so on a host with >=4 cores the
+// w=4 entry should run the sweep more than 1.8x faster than w=1; on fewer
+// cores the workers timeshare and the ratio degrades toward 1.0.
+//
+//	go test -run=^$ -bench BenchmarkSweepWorkers ./internal/core
+func BenchmarkSweepWorkers(b *testing.B) {
+	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(4)
+			defer runtime.GOMAXPROCS(prev)
+			cfg := quick("nbc")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := SweepN(cfg, loads, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

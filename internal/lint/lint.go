@@ -7,6 +7,8 @@
 //
 //   - simdeterminism — the simulation core must be bit-reproducible from
 //     its seeds: no math/rand, no wall clock, no iteration over maps.
+//   - hotalloc — the engine's per-cycle call graph must stay allocation
+//     free: no make(map), map literals or closures reachable from Step.
 //   - hookguard — telemetry hook call sites must be nil-guarded so that
 //     disabled telemetry stays a branch, never a panic.
 //   - mutexcopy — locks must not be copied through receivers or parameters.
@@ -60,6 +62,7 @@ type Pass interface {
 func DefaultPasses() []Pass {
 	return []Pass{
 		NewSimDeterminism(),
+		NewHotAlloc(),
 		NewHookGuard(),
 		MutexCopy{},
 		LoopCapture{},

@@ -95,6 +95,29 @@ func TestSimDeterminismIgnoresUntargetedPackages(t *testing.T) {
 	}
 }
 
+func TestHotAllocFixture(t *testing.T) {
+	p := loadFixture(t, "hotallocbad")
+	// The fixture lives outside the engine package, so target it explicitly.
+	checkFixture(t, "hotallocbad", &HotAlloc{Target: p.Path, Root: "(*Engine).Step"})
+}
+
+func TestHotAllocIgnoresUntargetedPackages(t *testing.T) {
+	p := loadFixture(t, "hotallocbad")
+	if got := Run([]*Package{p}, []Pass{NewHotAlloc()}); len(got) != 0 {
+		t.Errorf("default target flagged fixture package %s: %v", p.Path, got)
+	}
+}
+
+// TestHotAllocMissingRoot: renaming the entry point must surface as a
+// finding, not silently disarm the gate.
+func TestHotAllocMissingRoot(t *testing.T) {
+	p := loadFixture(t, "hotallocbad")
+	got := Run([]*Package{p}, []Pass{&HotAlloc{Target: p.Path, Root: "(*Engine).Tick"}})
+	if len(got) != 1 || !strings.Contains(got[0].Msg, "root (*Engine).Tick not found") {
+		t.Errorf("missing root reported as %v, want one configuration finding", got)
+	}
+}
+
 func TestHookGuardFixture(t *testing.T) {
 	checkFixture(t, "hookbad", NewHookGuard())
 }

@@ -1,0 +1,45 @@
+// Package hotallocbad is a wormlint test fixture for the hotalloc pass:
+// map allocations and closures inside the per-cycle call graph rooted at
+// (*Engine).Step must be flagged (marked "WANT hotalloc" at line end), while
+// identical constructs outside the graph or annotated with //lint:allow
+// stay legal.
+package hotallocbad
+
+// Engine mimics the simulator's cycle engine.
+type Engine struct {
+	scratch map[int]int
+}
+
+// Sink absorbs values so the fixture has no unused results.
+var Sink any
+
+// Step is the per-cycle root, a pointer method like the real engine's.
+func (e *Engine) Step() {
+	m := make(map[int]int) // WANT hotalloc
+	Sink = m
+	e.route()
+	fn := func() int { return 1 } // WANT hotalloc
+	Sink = fn()
+	e.rebuild()
+	drain()
+}
+
+func (e *Engine) route() {
+	Sink = map[string]bool{"x": true} // WANT hotalloc
+}
+
+func drain() {
+	Sink = make(map[int][]int) // WANT hotalloc
+}
+
+// rebuild carries the annotated, intentional variant.
+func (e *Engine) rebuild() {
+	e.scratch = make(map[int]int) //lint:allow hotalloc (rebuilt only on topology change)
+}
+
+// ColdPath is outside Step's call graph: the same constructs are fine here.
+func ColdPath() {
+	Sink = make(map[int]int)
+	Sink = func() int { return 2 }
+	Sink = make([]int, 8) // slices are amortized scratch, never flagged
+}

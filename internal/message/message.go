@@ -65,28 +65,44 @@ type Message struct {
 // return true for Plus). The caller provides gen time and id.
 func New(g *topology.Grid, id int64, src, dst, length int, genTime int64, tieBreak func(dim int) bool) *Message {
 	m := &Message{
-		ID:          id,
-		Src:         src,
-		Dst:         dst,
-		Len:         length,
-		GenTime:     genTime,
-		DeliverTime: -1,
-		Remaining:   make([]int, g.N()),
-		Crossed:     make([]bool, g.N()),
+		Remaining: make([]int, g.N()),
+		Crossed:   make([]bool, g.N()),
 	}
+	m.reset(g, id, src, dst, length, genTime, tieBreak)
+	return m
+}
+
+// reset reinitializes m in place for a fresh (src, dst) pair, consuming the
+// same tieBreak draws as New. Remaining and Crossed must already have length
+// g.N(); every other field is overwritten, so a recycled message carries no
+// state from its previous life.
+func (m *Message) reset(g *topology.Grid, id int64, src, dst, length int, genTime int64, tieBreak func(dim int) bool) {
+	m.ID = id
+	m.Src = src
+	m.Dst = dst
+	m.Len = length
+	m.GenTime = genTime
+	m.DeliverTime = -1
+	m.HopsTotal = 0
+	m.HopsTaken = 0
+	m.NegHops = 0
+	m.BonusStart = 0
+	m.TagForced = 0
+	m.TagFree = 0
+	m.Class = 0
 	for i := 0; i < g.N(); i++ {
 		off := g.Offset(src, dst, i)
 		if g.TieInDim(src, dst, i) && tieBreak != nil && !tieBreak(i) {
 			off = -off
 		}
 		m.Remaining[i] = off
+		m.Crossed[i] = false
 		if off < 0 {
 			m.HopsTotal -= off
 		} else {
 			m.HopsTotal += off
 		}
 	}
-	return m
 }
 
 // Arrived reports whether all dimensions are corrected.

@@ -17,24 +17,25 @@ func checkInvariants(t *testing.T, n *Network) {
 	ownersByCh := make([]int32, len(n.owners))
 	for ch := 0; ch < n.g.ChannelSlots(); ch++ {
 		for class := 0; class < n.numVCs; class++ {
-			s := &n.vcs[ch*n.numVCs+class]
-			if s.msg == nil {
-				if s.flits != 0 {
-					t.Fatalf("free vc %d/%d holds %d flits", ch, class, s.flits)
+			id := int32(ch*n.numVCs + class)
+			if n.vcMsg[id] == nil {
+				if n.vcFlits[id] != 0 {
+					t.Fatalf("free vc %d/%d holds %d flits", ch, class, n.vcFlits[id])
 				}
 				continue
 			}
 			ownersByCh[ch]++
-			if s.flits < 0 || s.flits > n.cfg.BufDepth {
-				t.Fatalf("vc %d/%d flit count %d out of [0,%d]", ch, class, s.flits, n.cfg.BufDepth)
+			if n.vcFlits[id] < 0 || int(n.vcFlits[id]) > n.cfg.BufDepth {
+				t.Fatalf("vc %d/%d flit count %d out of [0,%d]", ch, class, n.vcFlits[id], n.cfg.BufDepth)
 			}
-			if s.recvd-s.sent != s.flits {
-				t.Fatalf("vc %d/%d recvd %d - sent %d != flits %d", ch, class, s.recvd, s.sent, s.flits)
+			if n.vcRecvd[id]-n.vcSent[id] != n.vcFlits[id] {
+				t.Fatalf("vc %d/%d recvd %d - sent %d != flits %d", ch, class, n.vcRecvd[id], n.vcSent[id], n.vcFlits[id])
 			}
-			if s.recvd > s.msg.Len {
-				t.Fatalf("vc %d/%d received %d flits of a %d-flit worm", ch, class, s.recvd, s.msg.Len)
+			if int(n.vcRecvd[id]) > n.vcMsg[id].Len {
+				t.Fatalf("vc %d/%d received %d flits of a %d-flit worm", ch, class, n.vcRecvd[id], n.vcMsg[id].Len)
 			}
-			if s.activeIdx < 0 || s.activeIdx >= len(n.active) || n.active[s.activeIdx] != s {
+			ai := n.vcAIdx[id]
+			if ai < 0 || int(ai) >= len(n.active) || n.active[ai] != id {
 				t.Fatalf("vc %d/%d active index broken", ch, class)
 			}
 		}
@@ -45,13 +46,33 @@ func checkInvariants(t *testing.T, n *Network) {
 			t.Fatalf("channel %d owner count %d, actual %d", ch, n.owners[ch], want)
 		}
 	}
+	// The channel tables agree with the grid's per-call answers.
+	for ch := 0; ch < n.g.ChannelSlots(); ch++ {
+		up, dim, dir := n.g.ChannelInfo(ch)
+		if int(n.tbl.up[ch]) != up || int(n.tbl.dim[ch]) != dim || topology.Dir(n.tbl.dir[ch]) != dir {
+			t.Fatalf("channel %d table decodes (%d,%d,%d), grid says (%d,%d,%d)",
+				ch, n.tbl.up[ch], n.tbl.dim[ch], n.tbl.dir[ch], up, dim, dir)
+		}
+		if int(n.tbl.down[ch]) != n.g.Neighbor(up, dim, dir) {
+			t.Fatalf("channel %d down table %d, grid says %d", ch, n.tbl.down[ch], n.g.Neighbor(up, dim, dir))
+		}
+	}
 	// Active list has no strays.
-	for i, s := range n.active {
-		if s.msg == nil {
+	for i, id := range n.active {
+		if n.vcMsg[id] == nil {
 			t.Fatalf("active[%d] has no message", i)
 		}
-		if s.activeIdx != i {
-			t.Fatalf("active[%d] claims index %d", i, s.activeIdx)
+		if int(n.vcAIdx[id]) != i {
+			t.Fatalf("active[%d] claims index %d", i, n.vcAIdx[id])
+		}
+	}
+	// Injection free list holds only dead injection slots.
+	for _, id := range n.injFree {
+		if id < n.chanVCs {
+			t.Fatalf("channel vc %d on the injection free list", id)
+		}
+		if n.vcMsg[id] != nil {
+			t.Fatalf("free injection slot %d still holds a message", id)
 		}
 	}
 	// Injection-port counters never exceed the cap.
@@ -109,7 +130,7 @@ func TestStateInvariantsOnMesh(t *testing.T) {
 				continue
 			}
 			for class := 0; class < n.numVCs; class++ {
-				if n.vcs[ch*n.numVCs+class].msg != nil {
+				if n.vcMsg[ch*n.numVCs+class] != nil {
 					t.Fatalf("boundary channel %d owned", ch)
 				}
 			}

@@ -29,12 +29,21 @@
 // moves from start-of-cycle state, then apply), which makes a cycle
 // equivalent to the event-driven simulation of the paper at ft = 1 while
 // staying deterministic for a given seed.
+//
+// # Data layout
+//
+// Virtual-channel state lives in parallel struct-of-arrays slices indexed by
+// a dense vc id (ch*numVCs+class for channel buffers, ids past that for
+// injection slots), and the per-channel topology facts the cycle path needs
+// (endpoints, direction, reverse channel, Advance inputs) are precomputed
+// into flat tables at construction (see tables.go). The steady-state cycle
+// allocates nothing: messages come from a free-list pool, arbitration and
+// rendering use reusable scratch buffers, and every closure the hot path
+// calls is created once in New.
 package network
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 
 	"wormsim/internal/congestion"
 	"wormsim/internal/message"
@@ -89,8 +98,16 @@ type Config struct {
 	// movement while messages are in flight before Step reports a deadlock
 	// (default 20000; < 0 disables).
 	WatchdogCycles int64
+	// MsgPool, if set, supplies the message free list; sharing one across
+	// back-to-back runs lets later runs start warm. nil gives the network a
+	// private pool. Pooling never changes results: recycled messages are
+	// reinitialized through the same code path message.New uses, consuming
+	// identical RNG draws (see message.Pool).
+	MsgPool *message.Pool
 	// OnDeliver, if set, is called for every delivered message with the
-	// delivery cycle already recorded.
+	// delivery cycle already recorded. The *message.Message is recycled
+	// after the callback returns: copy what you need, do not retain the
+	// pointer across cycles.
 	OnDeliver func(*message.Message)
 	// OnHeaderHop, if set, is called whenever a header flit completes a hop
 	// into the given node over (dim, dir) — a flight recorder for path
@@ -109,37 +126,25 @@ type Config struct {
 	Phases *telemetry.PhaseProfiler
 }
 
-// vc is the state of one input virtual-channel buffer (or injection slot).
-type vc struct {
-	msg *message.Message
-	// node is where this buffer's flits reside: the downstream node of the
-	// channel, or the source node for an injection slot.
-	node int
-	// ch is the owning physical channel index, or -1 for an injection slot.
-	ch int
-	// class is the virtual-channel class on ch (0 for injection slots).
-	class int
-	// flits currently buffered; recvd/sent are lifetime totals. Injection
-	// slots start with flits = msg.Len (the whole message is available at
-	// the source).
-	flits int
-	recvd int
-	sent  int
-	// routed reports whether the header has been assigned an output.
-	routed bool
-	// outCh/outVC identify the allocated output virtual channel; outCh is
-	// -1 for ejection at the destination.
-	outCh int
-	outVC int
-	// outDim/outDir cache the decoded direction of outCh.
-	outDim int
-	outDir topology.Dir
-	// routeReadyAt is the earliest cycle the header may bid for an output
-	// (arrival cycle + RouteDelay).
-	routeReadyAt int64
-	// activeIdx is the position in Network.active, for swap-removal.
-	activeIdx int
+// outRoute is the output allocation of a routed header: the output physical
+// channel (outEject for ejection at the destination, outNone while the
+// header is unrouted), the virtual channel on it, and the decoded direction
+// of travel. Folding "unrouted" into the channel field lets the transfer and
+// eject scans classify a vc from this one record instead of also loading the
+// routed flag.
+type outRoute struct {
+	ch  int32
+	vc  int16
+	dim int8
+	dir int8
 }
+
+const (
+	// outEject marks a routed header consuming at its destination.
+	outEject = -1
+	// outNone marks an unallocated output (header not yet routed).
+	outNone = -2
+)
 
 // Counters is a snapshot of a measurement window.
 type Counters struct {
@@ -169,27 +174,61 @@ func (c Counters) Utilization(channels int) float64 {
 // Network is a running simulation. Create with New; advance with Step or
 // Run.
 type Network struct {
-	cfg     Config
-	g       *topology.Grid
-	alg     routing.Algorithm
-	policy  routing.SelectionPolicy
-	wl      traffic.Workload
-	numVCs  int
+	cfg    Config
+	g      *topology.Grid
+	alg    routing.Algorithm
+	policy routing.SelectionPolicy
+	wl     traffic.Workload
+	numVCs int
+	nDims  int
+	// msgLen mirrors cfg.MsgLen: every message has this length, so the
+	// tail-passed tests compare against it without loading the message.
+	msgLen  int32
 	limiter *congestion.Limiter
 	rt      *rng.Stream
 	tel     *telemetry.Collector
 	prof    *telemetry.PhaseTimer
+	pool    *message.Pool
+	// tieFn is the half-ring tie-break passed to the message pool — a method
+	// value bound once here so inject closes over nothing per call.
+	tieFn func(int) bool
 
 	now        int64
 	nextMsgID  int64
 	inFlight   int
 	lastMotion int64
 
-	// vcs[ch*numVCs+class] is the input buffer of that virtual channel at
-	// the channel's downstream node.
-	vcs []vc
-	// active lists every live vc (owned buffers and injection slots).
-	active []*vc
+	// tbl holds the per-channel topology tables (tables.go).
+	tbl chanTable
+
+	// Virtual-channel state, struct-of-arrays: index ch*numVCs+class is the
+	// input buffer of that virtual channel at the channel's downstream node;
+	// indices >= chanVCs are injection slots, recycled through injFree.
+	// vcNode is where a buffer's flits reside (the downstream node, or the
+	// source node for an injection slot); vcCh is the owning physical
+	// channel (-1 for injection slots); vcFlits counts currently buffered
+	// flits while vcRecvd/vcSent are lifetime totals (an injection slot
+	// starts with vcFlits = message length); vcRouted marks headers with an
+	// assigned output; vcReady is the earliest cycle a header may bid for an
+	// output (arrival + RouteDelay); vcAIdx is the slot's position in active
+	// for swap-removal.
+	chanVCs  int32
+	vcMsg    []*message.Message
+	vcNode   []int32
+	vcCh     []int32
+	vcClass  []int16
+	vcFlits  []int32
+	vcRecvd  []int32
+	vcSent   []int32
+	vcRouted []bool
+	vcOut    []outRoute
+	vcReady  []int64
+	vcAIdx   []int32
+
+	// active lists every live vc id (owned buffers and injection slots);
+	// injFree is the free list of injection-slot ids.
+	active  []int32
+	injFree []int32
 
 	// Per-channel round-robin pointer and owner count (congestion score).
 	rr     []uint32
@@ -206,12 +245,25 @@ type Network struct {
 	cands      []routing.Candidate
 	freeCands  []routing.Candidate
 	freeScores []int
-	moves      []*vc
-	reqs       [][]*vc
-	touched    []int
+	moves      []int32
+	reqs       [][]int32
+	touched    []int32
+	// Half-duplex arbitration scratch: generation-stamped per-channel marks
+	// replace the per-cycle maps a naive implementation would build. A slot
+	// is valid only when its generation equals revGen, so clearing is one
+	// counter increment.
+	revGen     uint32
+	chMoverGen []uint32
+	chDropGen  []uint32
+	// Worm-state rendering scratch (snapshot.go).
+	wormRefs []wormRef
+	wormSort wormRefSort
 
+	// window holds the live counters; base accumulates closed windows.
+	// Lifetime totals are base+window, materialized in Total, so the hot
+	// path increments each counter once instead of twice.
 	window Counters
-	total  Counters
+	base   Counters
 }
 
 // New validates cfg and builds the network.
@@ -245,11 +297,18 @@ func New(cfg Config) (*Network, error) {
 		policy:  cfg.Policy,
 		wl:      cfg.Workload,
 		numVCs:  cfg.Algorithm.NumVCs(g),
+		nDims:   g.N(),
+		msgLen:  int32(cfg.MsgLen),
 		limiter: congestion.NewLimiter(g.Nodes(), cfg.CCLimit),
 		rt:      rng.NewStream(cfg.Seed, 0x90f7),
 		tel:     cfg.Telemetry,
 		prof:    cfg.Phases.Timer(),
+		pool:    cfg.MsgPool,
 	}
+	if n.pool == nil {
+		n.pool = message.NewPool()
+	}
+	n.tieFn = n.tieBreak
 	slots := g.ChannelSlots()
 	if n.tel != nil {
 		if chs, classes := n.tel.Dims(); chs != slots || classes != n.numVCs {
@@ -257,26 +316,46 @@ func New(cfg Config) (*Network, error) {
 				chs, classes, slots, n.numVCs)
 		}
 	}
-	n.vcs = make([]vc, slots*n.numVCs)
+	n.tbl = buildChanTable(g)
+	n.chanVCs = int32(slots * n.numVCs)
+	size := int(n.chanVCs)
+	n.vcMsg = make([]*message.Message, size)
+	n.vcNode = make([]int32, size)
+	n.vcCh = make([]int32, size)
+	n.vcClass = make([]int16, size)
+	n.vcFlits = make([]int32, size)
+	n.vcRecvd = make([]int32, size)
+	n.vcSent = make([]int32, size)
+	n.vcRouted = make([]bool, size)
+	n.vcOut = make([]outRoute, size)
+	n.vcReady = make([]int64, size)
+	n.vcAIdx = make([]int32, size)
 	for ch := 0; ch < slots; ch++ {
-		up, dim, dir := g.ChannelInfo(ch)
-		down := g.Neighbor(up, dim, dir)
 		for class := 0; class < n.numVCs; class++ {
-			s := &n.vcs[ch*n.numVCs+class]
-			s.ch = ch
-			s.class = class
-			s.node = down // -1 on mesh boundaries; such slots stay unused
+			id := ch*n.numVCs + class
+			n.vcCh[id] = int32(ch)
+			n.vcClass[id] = int16(class)
+			// -1 on mesh boundaries; such slots stay unused.
+			n.vcNode[id] = n.tbl.down[ch]
+			n.vcAIdx[id] = -1
+			n.vcOut[id] = outRoute{ch: outNone}
 		}
 	}
 	n.rr = make([]uint32, slots)
 	n.owners = make([]int32, slots)
 	n.injecting = make([]int32, g.Nodes())
 	n.flitsByChannel = make([]int64, slots)
-	n.reqs = make([][]*vc, slots)
+	n.reqs = make([][]int32, slots)
+	n.chMoverGen = make([]uint32, slots)
+	n.chDropGen = make([]uint32, slots)
 	n.window.FlitMovesByClass = make([]int64, n.numVCs)
-	n.total.FlitMovesByClass = make([]int64, n.numVCs)
+	n.base.FlitMovesByClass = make([]int64, n.numVCs)
 	return n, nil
 }
+
+// tieBreak resolves half-ring direction ties at injection; bound as a method
+// value (tieFn) so the hot path never allocates a closure for it.
+func (n *Network) tieBreak(int) bool { return n.rt.Bernoulli(0.5) }
 
 // Grid returns the topology.
 func (n *Network) Grid() *topology.Grid { return n.g }
@@ -290,6 +369,10 @@ func (n *Network) Now() int64 { return n.now }
 // InFlight returns the number of admitted messages not yet delivered.
 func (n *Network) InFlight() int { return n.inFlight }
 
+// Pool returns the message free list in use (for sharing across runs and for
+// reuse diagnostics).
+func (n *Network) Pool() *message.Pool { return n.pool }
+
 // Window returns the counters accumulated since the last ResetWindow.
 func (n *Network) Window() Counters {
 	w := n.window
@@ -297,17 +380,38 @@ func (n *Network) Window() Counters {
 	return w
 }
 
-// Total returns the counters accumulated since construction.
+// Total returns the counters accumulated since construction: the closed
+// windows plus the live one.
 func (n *Network) Total() Counters {
-	t := n.total
-	t.FlitMovesByClass = append([]int64(nil), n.total.FlitMovesByClass...)
+	t := n.base
+	t.Cycles += n.window.Cycles
+	t.FlitMoves += n.window.FlitMoves
+	t.Generated += n.window.Generated
+	t.Admitted += n.window.Admitted
+	t.Dropped += n.window.Dropped
+	t.Delivered += n.window.Delivered
+	t.FlitMovesByClass = append([]int64(nil), n.base.FlitMovesByClass...)
+	for i, v := range n.window.FlitMovesByClass {
+		t.FlitMovesByClass[i] += v
+	}
 	return t
 }
 
-// ResetWindow zeroes the window counters (e.g. at a sampling-period
-// boundary).
+// ResetWindow folds the window counters into the lifetime base and zeroes
+// them (e.g. at a sampling-period boundary).
 func (n *Network) ResetWindow() {
-	n.window = Counters{FlitMovesByClass: make([]int64, n.numVCs)}
+	n.base.Cycles += n.window.Cycles
+	n.base.FlitMoves += n.window.FlitMoves
+	n.base.Generated += n.window.Generated
+	n.base.Admitted += n.window.Admitted
+	n.base.Dropped += n.window.Dropped
+	n.base.Delivered += n.window.Delivered
+	for i, v := range n.window.FlitMovesByClass {
+		n.base.FlitMovesByClass[i] += v
+		n.window.FlitMovesByClass[i] = 0
+	}
+	byClass := n.window.FlitMovesByClass
+	n.window = Counters{FlitMovesByClass: byClass}
 }
 
 // Reseed hands fresh random streams to the workload and the router's
@@ -352,10 +456,6 @@ func (n *Network) Step() error {
 	if n.prof != nil {
 		n.prof.Mark(telemetry.PhaseRoute)
 	}
-	n.eject()
-	if n.prof != nil {
-		n.prof.Mark(telemetry.PhaseEject)
-	}
 	moved := n.transfer()
 	if n.prof != nil {
 		n.prof.Mark(telemetry.PhaseTransfer)
@@ -365,7 +465,6 @@ func (n *Network) Step() error {
 	}
 	n.now++
 	n.window.Cycles++
-	n.total.Cycles++
 	if n.tel != nil {
 		n.tel.EndCycle()
 	}
@@ -408,23 +507,29 @@ func (n *Network) inject() {
 	n.arrivals = n.wl.Arrivals(n.now, n.arrivals[:0])
 	for _, a := range n.arrivals {
 		n.window.Generated++
-		n.total.Generated++
-		m := message.New(n.g, n.nextMsgID, a.Src, a.Dst, n.cfg.MsgLen, n.now, func(int) bool { return n.rt.Bernoulli(0.5) })
+		m := n.pool.Get(n.g, n.nextMsgID, a.Src, a.Dst, n.cfg.MsgLen, n.now, n.tieFn)
 		n.nextMsgID++
 		n.alg.Init(n.g, m)
 		if !n.limiter.Admit(a.Src, m.Class) {
 			n.window.Dropped++
-			n.total.Dropped++
 			if n.tel != nil {
 				n.tel.Drop(n.now, m.ID, a.Src, a.Dst)
 			}
+			n.pool.Put(m)
 			continue
 		}
 		n.window.Admitted++
-		n.total.Admitted++
 		n.inFlight++
-		s := &vc{msg: m, node: a.Src, ch: -1, flits: m.Len}
-		n.addActive(s)
+		id := n.newInjSlot()
+		n.vcMsg[id] = m
+		n.vcNode[id] = int32(a.Src)
+		n.vcFlits[id] = int32(m.Len)
+		n.vcRecvd[id] = 0
+		n.vcSent[id] = 0
+		n.vcRouted[id] = false
+		n.vcOut[id] = outRoute{ch: outNone}
+		n.vcReady[id] = 0
+		n.addActive(id)
 		if n.tel != nil {
 			n.tel.Inject(n.now, m.ID, a.Src, a.Dst)
 			n.tel.InjEnqueue()
@@ -432,20 +537,45 @@ func (n *Network) inject() {
 	}
 }
 
-// addActive appends s to the active list.
-func (n *Network) addActive(s *vc) {
-	s.activeIdx = len(n.active)
-	n.active = append(n.active, s)
+// newInjSlot returns a free injection-slot id, growing the state arrays when
+// the free list is empty. Slot count stabilizes at the run's peak concurrent
+// injections, after which inject allocates nothing.
+func (n *Network) newInjSlot() int32 {
+	if k := len(n.injFree); k > 0 {
+		id := n.injFree[k-1]
+		n.injFree = n.injFree[:k-1]
+		return id
+	}
+	id := int32(len(n.vcMsg))
+	n.vcMsg = append(n.vcMsg, nil)
+	n.vcNode = append(n.vcNode, 0)
+	n.vcCh = append(n.vcCh, -1)
+	n.vcClass = append(n.vcClass, 0)
+	n.vcFlits = append(n.vcFlits, 0)
+	n.vcRecvd = append(n.vcRecvd, 0)
+	n.vcSent = append(n.vcSent, 0)
+	n.vcRouted = append(n.vcRouted, false)
+	n.vcOut = append(n.vcOut, outRoute{ch: outNone})
+	n.vcReady = append(n.vcReady, 0)
+	n.vcAIdx = append(n.vcAIdx, -1)
+	return id
 }
 
-// removeActive swap-removes s from the active list.
-func (n *Network) removeActive(s *vc) {
+// addActive appends the vc id to the active list.
+func (n *Network) addActive(id int32) {
+	n.vcAIdx[id] = int32(len(n.active))
+	n.active = append(n.active, id)
+}
+
+// removeActive swap-removes the vc id from the active list.
+func (n *Network) removeActive(id int32) {
 	last := len(n.active) - 1
-	i := s.activeIdx
-	n.active[i] = n.active[last]
-	n.active[i].activeIdx = i
+	i := n.vcAIdx[id]
+	moved := n.active[last]
+	n.active[i] = moved
+	n.vcAIdx[moved] = i
 	n.active = n.active[:last]
-	s.activeIdx = -1
+	n.vcAIdx[id] = -1
 }
 
 // allocate routes headers: every live vc holding an unrouted header tries to
@@ -455,46 +585,58 @@ func (n *Network) allocate() {
 	if count == 0 {
 		return
 	}
+	ports := n.cfg.InjectionPorts
 	// Rotate the scan start each cycle so no node gets a standing priority
-	// in virtual-channel contention.
-	start := n.rt.Intn(count)
+	// in virtual-channel contention. The wrap is a branch, not a modulo:
+	// an integer division per active vc would dominate this scan.
+	idx := n.rt.Intn(count)
+	// route may append to n.active (allocating a downstream vc), but growth
+	// never disturbs the first count entries, so the snapshot stays valid.
+	active := n.active
+	vcRouted, vcRecvd, vcCh := n.vcRouted, n.vcRecvd, n.vcCh
 	for i := 0; i < count; i++ {
-		s := n.active[(start+i)%count]
-		if s.routed || s.recvd == 0 && s.ch != -1 {
+		id := active[idx]
+		idx++
+		if idx == count {
+			idx = 0
+		}
+		if vcRouted[id] || vcRecvd[id] == 0 && vcCh[id] != -1 {
 			continue
 		}
-		if s.msg == nil || n.now < s.routeReadyAt {
+		m := n.vcMsg[id]
+		if m == nil || n.now < n.vcReady[id] {
 			continue
 		}
-		if s.ch == -1 && n.cfg.InjectionPorts > 0 && int(n.injecting[s.node]) >= n.cfg.InjectionPorts {
+		if n.vcCh[id] == -1 && ports > 0 && int(n.injecting[n.vcNode[id]]) >= ports {
 			continue // all injection ports busy; wait for one to free up
 		}
-		if !n.route(s) && n.tel != nil {
-			n.tel.HeadBlocked(s.msg.Class)
+		if !n.route(id) && n.tel != nil {
+			n.tel.HeadBlocked(m.Class)
 		}
 	}
 }
 
-// route attempts virtual-channel allocation for the header in s and reports
-// whether the header is routed afterwards.
-func (n *Network) route(s *vc) bool {
-	m := s.msg
-	node := s.node
+// route attempts virtual-channel allocation for the header in vc id and
+// reports whether the header is routed afterwards.
+func (n *Network) route(id int32) bool {
+	m := n.vcMsg[id]
+	node := int(n.vcNode[id])
 	if m.Dst == node {
-		s.routed = true
-		s.outCh = -1
+		n.vcRouted[id] = true
+		n.vcOut[id] = outRoute{ch: outEject}
 		return true
 	}
 	n.cands = n.alg.Candidates(n.g, m, node, n.cands[:0])
 	n.freeCands = n.freeCands[:0]
 	n.freeScores = n.freeScores[:0]
 	for _, c := range n.cands {
-		ch := n.g.ChannelIndex(node, c.Dim, c.Dir)
-		if !n.g.HasChannel(node, c.Dim, c.Dir) {
+		// Dense channel index, inlined (topology.Grid.ChannelIndex); the
+		// down table doubles as the HasChannel test.
+		ch := (node*n.nDims+c.Dim)*2 + int(c.Dir)
+		if n.tbl.down[ch] < 0 {
 			continue
 		}
-		t := &n.vcs[ch*n.numVCs+c.VC]
-		if t.msg != nil {
+		if n.vcMsg[ch*n.numVCs+c.VC] != nil {
 			continue
 		}
 		n.freeCands = append(n.freeCands, c)
@@ -505,22 +647,19 @@ func (n *Network) route(s *vc) bool {
 	}
 	pick := n.policy.Select(n.freeCands, n.freeScores, n.rt)
 	c := n.freeCands[pick]
-	ch := n.g.ChannelIndex(node, c.Dim, c.Dir)
-	t := &n.vcs[ch*n.numVCs+c.VC]
-	t.msg = m
-	t.flits, t.recvd, t.sent = 0, 0, 0
-	t.routed = false
-	t.routeReadyAt = 0
-	t.outCh = 0
+	ch := (node*n.nDims+c.Dim)*2 + int(c.Dir)
+	t := int32(ch*n.numVCs + c.VC)
+	n.vcMsg[t] = m
+	n.vcFlits[t], n.vcRecvd[t], n.vcSent[t] = 0, 0, 0
+	n.vcRouted[t] = false
+	n.vcReady[t] = 0
+	n.vcOut[t] = outRoute{ch: outNone}
 	n.owners[ch]++
 	n.addActive(t)
-	s.routed = true
-	s.outCh = ch
-	s.outVC = c.VC
-	s.outDim = c.Dim
-	s.outDir = c.Dir
-	if s.ch == -1 {
-		n.injecting[s.node]++
+	n.vcRouted[id] = true
+	n.vcOut[id] = outRoute{ch: int32(ch), vc: int16(c.VC), dim: int8(c.Dim), dir: int8(c.Dir)}
+	if n.vcCh[id] == -1 {
+		n.injecting[n.vcNode[id]]++
 	}
 	n.alg.Allocated(n.g, m, node, c)
 	if n.tel != nil {
@@ -530,32 +669,63 @@ func (n *Network) route(s *vc) bool {
 	return true
 }
 
-// transfer performs channel arbitration and moves at most one flit per
-// physical channel, two-phase: all decisions are made against start-of-cycle
-// state, then applied. It reports whether any flit moved (including
-// ejection-side drains recorded by eject, which calls back via markMotion).
+// transfer performs ejection, channel arbitration, and flit movement in one
+// pass over the active list, two-phase: all arbitration decisions are made
+// against start-of-cycle state, then applied. Ejection — the paper's node
+// model consumes arriving flits without competing for network channels — is
+// fused into the requester scan: draining a consuming buffer in scan order
+// is equivalent to a separate prior ejection pass because (a) a removal's
+// swap-and-revisit reproduces exactly the element order a post-ejection scan
+// would have seen, and (b) a full downstream buffer that is consuming always
+// drains this cycle, so the credit check treats it as empty. It reports
+// whether any flit moved across a channel (ejection drains update lastMotion
+// directly).
 func (n *Network) transfer() bool {
-	// Phase 1: collect requesters per physical channel.
-	n.touched = n.touched[:0]
-	for _, s := range n.active {
-		if !s.routed || s.outCh < 0 || s.flits == 0 {
+	// Phase 1: drain consuming buffers and collect requesters per physical
+	// channel. An unrouted header (outNone) and a consuming one (outEject)
+	// both fail the single out.ch sign test.
+	touched := n.touched[:0]
+	bufDepth := int32(n.cfg.BufDepth)
+	numVCs := int32(n.numVCs)
+	vcOut, vcFlits, reqs := n.vcOut, n.vcFlits, n.reqs
+	for i := 0; i < len(n.active); i++ {
+		id := n.active[i]
+		out := vcOut[id]
+		if out.ch < 0 {
+			if out.ch == outEject && vcFlits[id] != 0 && n.vcCh[id] != -1 {
+				n.vcSent[id] += vcFlits[id]
+				vcFlits[id] = 0
+				n.lastMotion = n.now
+				if n.vcSent[id] == n.msgLen {
+					n.deliver(id)
+					i-- // the swapped-in element must be visited too
+				}
+			}
 			continue
 		}
-		t := &n.vcs[s.outCh*n.numVCs+s.outVC]
-		if t.flits >= n.cfg.BufDepth {
-			continue // no credit downstream
+		if vcFlits[id] == 0 {
+			continue
 		}
-		if len(n.reqs[s.outCh]) == 0 {
-			n.touched = append(n.touched, s.outCh)
+		t := out.ch*numVCs + int32(out.vc)
+		if vcFlits[t] >= bufDepth && vcOut[t].ch != outEject {
+			continue // no credit downstream (full consuming buffers drain)
 		}
-		n.reqs[s.outCh] = append(n.reqs[s.outCh], s)
+		if len(reqs[out.ch]) == 0 {
+			touched = append(touched, out.ch)
+		}
+		reqs[out.ch] = append(reqs[out.ch], id)
 	}
+	n.touched = touched
 	// Phase 2: pick one winner per channel (rotating priority) and move its
-	// flit.
+	// flit. Uncontended channels — the common case — skip the rotation
+	// modulo.
 	n.moves = n.moves[:0]
 	for _, ch := range n.touched {
 		req := n.reqs[ch]
-		winner := req[int(n.rr[ch])%len(req)]
+		winner := req[0]
+		if len(req) > 1 {
+			winner = req[int(n.rr[ch])%len(req)]
+		}
 		n.rr[ch]++
 		n.moves = append(n.moves, winner)
 		n.reqs[ch] = req[:0]
@@ -563,8 +733,8 @@ func (n *Network) transfer() bool {
 	if n.cfg.HalfDuplex && len(n.moves) > 1 {
 		n.moves = n.dropReverseConflicts(n.moves)
 	}
-	for _, s := range n.moves {
-		n.applyMove(s)
+	for _, id := range n.moves {
+		n.applyMove(id)
 	}
 	return len(n.moves) > 0
 
@@ -572,123 +742,116 @@ func (n *Network) transfer() bool {
 
 // dropReverseConflicts enforces half-duplex links: when both directions of
 // a link won arbitration this cycle, only one (alternating per link) keeps
-// its grant.
-func (n *Network) dropReverseConflicts(moves []*vc) []*vc {
-	byCh := make(map[int]*vc, len(moves))
-	for _, s := range moves {
-		byCh[s.outCh] = s
+// its grant. Conflict detection and the drop set use generation-stamped
+// per-channel scratch (valid only when the stamp equals revGen), so the
+// per-cycle cost is proportional to the number of winners, with no map or
+// slice allocation.
+func (n *Network) dropReverseConflicts(moves []int32) []int32 {
+	n.revGen++
+	gen := n.revGen
+	for _, id := range moves {
+		n.chMoverGen[n.vcOut[id].ch] = gen
 	}
-	dropped := map[*vc]bool{}
-	for _, s := range moves {
-		up, dim, dir := n.g.ChannelInfo(s.outCh)
-		down := n.g.Neighbor(up, dim, dir)
-		rev := n.g.ChannelIndex(down, dim, dir.Opposite())
-		if s.outCh > rev {
+	dropped := 0
+	for _, id := range moves {
+		ch := n.vcOut[id].ch
+		rev := n.tbl.rev[ch]
+		if ch > rev {
 			continue // each conflicting pair is handled from its lower side
 		}
-		r, both := byCh[rev]
-		if !both {
+		if n.chMoverGen[rev] != gen {
 			continue
 		}
 		// Alternate the winner per link across cycles.
-		n.rr[s.outCh]++
-		if n.rr[s.outCh]%2 == 0 {
-			dropped[s] = true
+		n.rr[ch]++
+		if n.rr[ch]%2 == 0 {
+			n.chDropGen[ch] = gen
 		} else {
-			dropped[r] = true
+			n.chDropGen[rev] = gen
 		}
+		dropped++
 	}
-	if len(dropped) == 0 {
+	if dropped == 0 {
 		return moves
 	}
 	kept := moves[:0]
-	for _, s := range moves {
-		if !dropped[s] {
-			kept = append(kept, s)
+	for _, id := range moves {
+		if n.chDropGen[n.vcOut[id].ch] != gen {
+			kept = append(kept, id)
 		}
 	}
 	return kept
 }
 
-// applyMove transfers one flit from s across its output channel.
-func (n *Network) applyMove(s *vc) {
-	m := s.msg
-	t := &n.vcs[s.outCh*n.numVCs+s.outVC]
-	s.flits--
-	s.sent++
-	t.flits++
-	t.recvd++
+// applyMove transfers one flit from vc id across its output channel.
+func (n *Network) applyMove(id int32) {
+	out := n.vcOut[id]
+	ch := int(out.ch)
+	t := int32(ch*n.numVCs + int(out.vc))
+	n.vcFlits[id]--
+	n.vcSent[id]++
+	n.vcFlits[t]++
+	n.vcRecvd[t]++
 	n.window.FlitMoves++
-	n.total.FlitMoves++
-	n.window.FlitMovesByClass[s.outVC]++
-	n.total.FlitMovesByClass[s.outVC]++
-	n.flitsByChannel[s.outCh]++
+	n.window.FlitMovesByClass[out.vc]++
+	n.flitsByChannel[ch]++
 	if n.tel != nil {
-		n.tel.FlitMove(s.outCh)
+		n.tel.FlitMove(ch)
 	}
-	if t.recvd == 1 {
+	if n.vcRecvd[t] == 1 {
 		// Header hop completed: update the message's routing state from the
-		// upstream node's viewpoint.
-		up, dim, dir := n.g.ChannelInfo(s.outCh)
-		m.Advance(n.g, dim, dir, n.g.Coord(up, dim), n.g.Parity(up))
-		t.routeReadyAt = n.now + 1 + int64(n.cfg.RouteDelay)
+		// upstream node's viewpoint (precomputed in the channel tables).
+		m := n.vcMsg[id]
+		dim, dir := int(out.dim), topology.Dir(out.dir)
+		m.Advance(n.g, dim, dir, int(n.tbl.coord[ch]), int(n.tbl.parity[ch]))
+		n.vcReady[t] = n.now + 1 + int64(n.cfg.RouteDelay)
 		if n.cfg.OnHeaderHop != nil {
-			n.cfg.OnHeaderHop(m, t.node, dim, dir)
+			n.cfg.OnHeaderHop(m, int(n.vcNode[t]), dim, dir)
 		}
 		if n.tel != nil {
-			n.tel.Hop(n.now, m.ID, t.node, s.outCh, s.outVC)
+			n.tel.Hop(n.now, m.ID, int(n.vcNode[t]), ch, int(out.vc))
 		}
 	}
-	if s.sent == m.Len {
+	if n.vcSent[id] == n.msgLen {
 		// Tail has left this buffer: release it.
-		if s.ch == -1 {
-			n.limiter.Release(s.node, m.Class)
-			n.injecting[s.node]--
+		if n.vcCh[id] == -1 {
+			n.limiter.Release(int(n.vcNode[id]), n.vcMsg[id].Class)
+			n.injecting[n.vcNode[id]]--
 			if n.tel != nil {
 				n.tel.InjDequeue()
 			}
+			n.removeActive(id)
+			n.vcMsg[id] = nil
+			n.injFree = append(n.injFree, id)
 		} else {
-			n.owners[s.ch]--
+			n.owners[n.vcCh[id]]--
 			if n.tel != nil {
-				n.tel.VCReleased(s.class)
+				n.tel.VCReleased(int(n.vcClass[id]))
 			}
+			n.removeActive(id)
+			n.vcMsg[id] = nil
 		}
-		n.removeActive(s)
-		s.msg = nil
 	}
 }
 
-// eject drains every buffer whose message has reached its destination; the
-// paper's node model consumes arriving flits without competing for network
-// channels.
-func (n *Network) eject() {
-	for i := 0; i < len(n.active); i++ {
-		s := n.active[i]
-		if !s.routed || s.outCh != -1 || s.flits == 0 || s.ch == -1 {
-			continue
-		}
-		m := s.msg
-		s.sent += s.flits
-		s.flits = 0
-		n.lastMotion = n.now
-		if s.sent == m.Len {
-			m.DeliverTime = n.now
-			n.owners[s.ch]--
-			n.removeActive(s)
-			s.msg = nil
-			i-- // the swapped-in element must be visited too
-			n.inFlight--
-			n.window.Delivered++
-			n.total.Delivered++
-			if n.tel != nil {
-				n.tel.VCReleased(s.class)
-				n.tel.Deliver(n.now, m.ID, m.Dst)
-			}
-			if n.cfg.OnDeliver != nil {
-				n.cfg.OnDeliver(m)
-			}
-		}
+// deliver completes message consumption at vc id: the tail flit has been
+// drained, so the buffer is released and the message recycled.
+func (n *Network) deliver(id int32) {
+	m := n.vcMsg[id]
+	m.DeliverTime = n.now
+	n.owners[n.vcCh[id]]--
+	n.removeActive(id)
+	n.vcMsg[id] = nil
+	n.inFlight--
+	n.window.Delivered++
+	if n.tel != nil {
+		n.tel.VCReleased(int(n.vcClass[id]))
+		n.tel.Deliver(n.now, m.ID, m.Dst)
 	}
+	if n.cfg.OnDeliver != nil {
+		n.cfg.OnDeliver(m)
+	}
+	n.pool.Put(m)
 }
 
 // Drain runs until no messages are in flight or maxCycles pass; it reports
@@ -732,90 +895,10 @@ func (n *Network) ChannelFlitCounts() []int64 {
 // currently owned by a worm.
 func (n *Network) OccupiedVCsByClass() []int {
 	counts := make([]int, n.numVCs)
-	for _, s := range n.active {
-		if s.ch >= 0 && s.msg != nil {
-			counts[s.class]++
+	for _, id := range n.active {
+		if n.vcCh[id] >= 0 && n.vcMsg[id] != nil {
+			counts[n.vcClass[id]]++
 		}
 	}
 	return counts
-}
-
-// WormStates returns the canonical in-flight state: one telemetry.WormState
-// per live worm, sorted by message ID, with each worm's held buffers ordered
-// injection slot first and then upstream to downstream. Snapshot, the
-// deadlock report and external tooling all render from this single model, so
-// a worm whose *message.Message is shared across several virtual channels
-// appears exactly once, deterministically.
-func (n *Network) WormStates() []telemetry.WormState {
-	slots := map[int64][]*vc{}
-	ids := make([]int64, 0, n.inFlight)
-	for _, s := range n.active {
-		if s.msg == nil {
-			continue
-		}
-		if _, ok := slots[s.msg.ID]; !ok {
-			ids = append(ids, s.msg.ID)
-		}
-		slots[s.msg.ID] = append(slots[s.msg.ID], s)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	states := make([]telemetry.WormState, 0, len(ids))
-	for _, id := range ids {
-		held := slots[id]
-		// Injection slot first, then upstream to downstream: lifetime
-		// received-flit counts are non-increasing along a worm's channel
-		// chain (a buffer cannot receive more than its upstream forwarded),
-		// with the channel index as a deterministic tie-break.
-		sort.Slice(held, func(i, j int) bool {
-			a, b := held[i], held[j]
-			if (a.ch == -1) != (b.ch == -1) {
-				return a.ch == -1
-			}
-			if a.recvd != b.recvd {
-				return a.recvd > b.recvd
-			}
-			return a.ch < b.ch
-		})
-		m := held[0].msg
-		w := telemetry.WormState{
-			ID: m.ID, Src: m.Src, Dst: m.Dst, Len: m.Len,
-			HopsTaken: m.HopsTaken, HopsTotal: m.HopsTotal,
-			Holding: make([]telemetry.VCHold, len(held)),
-		}
-		for i, s := range held {
-			w.Holding[i] = telemetry.VCHold{Ch: s.ch, Class: s.class, Node: s.node, Flits: s.flits}
-			// The header sits in the buffer that has forwarded nothing yet:
-			// the injection slot before the first hop, or the deepest buffer
-			// that has received at least one flit.
-			if s.sent == 0 && (s.recvd > 0 || s.ch == -1) {
-				w.Routed = s.routed
-				w.HeadNode = s.node
-			}
-		}
-		states = append(states, w)
-	}
-	return states
-}
-
-// describeStuck renders up to limit stuck worms for deadlock diagnostics.
-func (n *Network) describeStuck(limit int) string {
-	states := n.WormStates()
-	var b strings.Builder
-	for i, w := range states {
-		if i >= limit {
-			fmt.Fprintf(&b, "  ... and %d more\n", len(states)-limit)
-			break
-		}
-		fmt.Fprintf(&b, "  %v head at %s\n", w, nodeName(n.g, w.HeadNode))
-	}
-	return b.String()
-}
-
-// nodeName renders a node id with coordinates for diagnostics.
-func nodeName(g *topology.Grid, id int) string {
-	if id < 0 {
-		return "edge"
-	}
-	coords := make([]int, g.N())
-	return fmt.Sprintf("%d%v", id, g.Coords(id, coords))
 }

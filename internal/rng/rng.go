@@ -31,18 +31,28 @@ func NewStream(seed, stream uint64) *Stream {
 	return s
 }
 
-// Uint32 returns the next 32 uniformly distributed bits.
-func (s *Stream) Uint32() uint32 {
-	old := s.state
-	s.state = old*pcgMultiplier + s.inc
+// pcgOutput is the PCG-32 output permutation (xorshift high bits, random
+// rotation) applied to a pre-advance state.
+func pcgOutput(old uint64) uint32 {
 	xorshifted := uint32(((old >> 18) ^ old) >> 27)
 	rot := uint32(old >> 59)
 	return xorshifted>>rot | xorshifted<<((-rot)&31)
 }
 
-// Uint64 returns the next 64 uniformly distributed bits.
+// Uint32 returns the next 32 uniformly distributed bits.
+func (s *Stream) Uint32() uint32 {
+	old := s.state
+	s.state = old*pcgMultiplier + s.inc
+	return pcgOutput(old)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits: the same two
+// Uint32 draws (high word first) with the intermediate state store elided.
 func (s *Stream) Uint64() uint64 {
-	return uint64(s.Uint32())<<32 | uint64(s.Uint32())
+	s1 := s.state
+	s2 := s1*pcgMultiplier + s.inc
+	s.state = s2*pcgMultiplier + s.inc
+	return uint64(pcgOutput(s1))<<32 | uint64(pcgOutput(s2))
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
@@ -64,7 +74,35 @@ func (s *Stream) Intn(n int) int {
 
 // Float64 returns a uniform float64 in [0, 1).
 func (s *Stream) Float64() float64 {
-	return float64(s.Uint64()>>11) / (1 << 53)
+	return float64(s.Uint53()) / (1 << 53)
+}
+
+// Uint53 returns the next 53 uniformly distributed bits — the integer
+// Float64 is built from, exposed so hot loops can compare against a
+// precomputed BernoulliThreshold without the int-to-float conversion.
+func (s *Stream) Uint53() uint64 {
+	return s.Uint64() >> 11
+}
+
+// BernoulliThreshold converts a probability into the Uint53 cutoff that
+// makes "Uint53() < threshold" equivalent to "Float64() < p": with
+// k = Uint53(), Float64() is exactly k/2^53, so k/2^53 < p iff
+// k < ceil(p*2^53) (p*2^53 is exact for p in (0, 1) — a power-of-two scale
+// only shifts the exponent). Probabilities at or below 0 and at or above 1
+// map to the always-false and always-true cutoffs.
+func BernoulliThreshold(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1 << 53
+	}
+	t := p * (1 << 53)
+	k := uint64(t)
+	if float64(k) < t {
+		k++
+	}
+	return k
 }
 
 // Bernoulli reports true with probability p.
@@ -75,7 +113,7 @@ func (s *Stream) Bernoulli(p float64) bool {
 	if p >= 1 {
 		return true
 	}
-	return s.Float64() < p
+	return s.Uint53() < BernoulliThreshold(p)
 }
 
 // Geometric returns a sample from the geometric distribution on {1, 2, ...}

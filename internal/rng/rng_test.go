@@ -258,3 +258,54 @@ func BenchmarkIntn(b *testing.B) {
 		s.Intn(17)
 	}
 }
+
+// TestUint64MatchesPairedUint32: the unrolled Uint64 must produce exactly
+// the high<<32|low composition of two Uint32 draws, so streams mixing the
+// two call styles keep their historical sequences.
+func TestUint64MatchesPairedUint32(t *testing.T) {
+	a := NewStream(99, 7)
+	b := NewStream(99, 7)
+	for i := 0; i < 1000; i++ {
+		want := uint64(b.Uint32())<<32 | uint64(b.Uint32())
+		if got := a.Uint64(); got != want {
+			t.Fatalf("draw %d: Uint64 %#x, paired Uint32 %#x", i, got, want)
+		}
+	}
+}
+
+// TestBernoulliThresholdMatchesFloat64: the integer cutoff must agree with
+// the float comparison it replaces on every draw, including probabilities
+// that are not exactly representable and the degenerate endpoints.
+func TestBernoulliThresholdMatchesFloat64(t *testing.T) {
+	probs := []float64{0, 1, -0.5, 1.5, 0.5, 0.25, 0.1, 0.3, 1e-9, 0.9999999,
+		1.0 / (1 << 53), 3.0 / (1 << 53), 0.0025, 0.7311}
+	for _, p := range probs {
+		thr := BernoulliThreshold(p)
+		a := NewStream(5, 3)
+		for i := 0; i < 5000; i++ {
+			k := a.Uint53()
+			intAnswer := k < thr
+			floatAnswer := float64(k)/(1<<53) < p
+			if intAnswer != floatAnswer {
+				t.Fatalf("p=%g draw %d (k=%d): integer %v, float %v", p, i, k, intAnswer, floatAnswer)
+			}
+		}
+	}
+}
+
+// TestBernoulliDrawCount: probabilities strictly inside (0, 1) consume one
+// Uint64; the endpoints consume nothing (the historical shortcut paths).
+func TestBernoulliDrawCount(t *testing.T) {
+	s := NewStream(1, 1)
+	ref := NewStream(1, 1)
+	s.Bernoulli(0)
+	s.Bernoulli(1)
+	if got, want := s.Uint32(), ref.Uint32(); got != want {
+		t.Fatalf("endpoint Bernoulli consumed draws: %#x vs %#x", got, want)
+	}
+	ref.Uint64()
+	s.Bernoulli(0.5)
+	if got, want := s.Uint32(), ref.Uint32(); got != want {
+		t.Fatalf("interior Bernoulli consumed != 1 Uint64: %#x vs %#x", got, want)
+	}
+}

@@ -11,7 +11,9 @@ import (
 // execution order. The route phase covers both the routing decision and
 // virtual-channel allocation (the engine performs them together per header);
 // transfer is switch traversal (channel arbitration plus flit movement);
-// watchdog covers stall detection and end-of-cycle bookkeeping.
+// watchdog covers stall detection and end-of-cycle bookkeeping. The eject
+// phase is retained for wire compatibility, but the engine fuses ejection
+// into its transfer scan, so its share reads zero there.
 type Phase uint8
 
 // The engine phases, in the order Step executes them.
@@ -46,23 +48,38 @@ func (p Phase) String() string {
 type PhaseProfiler struct {
 	// now returns monotonic nanoseconds; injectable for deterministic tests.
 	now func() int64
+	// stride is the sampling period: a timer reads the clock on one cycle in
+	// stride and scales that cycle's attributions by stride, so totals and
+	// shares remain unbiased estimates while the other cycles cost two
+	// predictable branches instead of seven clock reads and six atomic adds.
+	stride int64
 
 	nanos  [NumPhases]atomic.Int64
 	cycles atomic.Int64
 }
 
-// NewPhaseProfiler returns a profiler on the real (monotonic) clock.
+// sampleStride is the real-clock sampling period. Engine cycles run in the
+// low microseconds while a monotonic clock read costs tens of nanoseconds;
+// sampling one cycle in eight keeps the profiler's overhead below the noise
+// floor of what it measures.
+const sampleStride = 8
+
+// NewPhaseProfiler returns a profiler on the real (monotonic) clock,
+// stride-sampling one cycle in eight.
 func NewPhaseProfiler() *PhaseProfiler {
 	// Profiling genuinely wants the wall clock; it never feeds simulation
 	// state, and tests inject a counter instead.
-	base := time.Now()                                                            //lint:allow simdeterminism (profiler clock, observe-only)
-	return NewPhaseProfilerClock(func() int64 { return int64(time.Since(base)) }) //lint:allow simdeterminism (profiler clock, observe-only)
+	base := time.Now()                                                           //lint:allow simdeterminism (profiler clock, observe-only)
+	pp := NewPhaseProfilerClock(func() int64 { return int64(time.Since(base)) }) //lint:allow simdeterminism (profiler clock, observe-only)
+	pp.stride = sampleStride
+	return pp
 }
 
 // NewPhaseProfilerClock returns a profiler reading the given monotonic
-// nanosecond clock.
+// nanosecond clock on every cycle (stride 1), so injected-clock tests see
+// exact attribution.
 func NewPhaseProfilerClock(now func() int64) *PhaseProfiler {
-	return &PhaseProfiler{now: now}
+	return &PhaseProfiler{now: now, stride: 1}
 }
 
 // Timer returns a cursor for one engine's use of the profiler. The engine
@@ -82,19 +99,39 @@ func (pp *PhaseProfiler) Timer() *PhaseTimer {
 type PhaseTimer struct {
 	pp   *PhaseProfiler
 	last int64
+	// countdown cycles remain until the next sampled cycle; sampling marks
+	// whether the current cycle is being timed. pending batches the cycle
+	// count between samples so unsampled cycles touch no atomics.
+	countdown int64
+	sampling  bool
+	pending   int64
 }
 
 // Begin opens one engine cycle: subsequent Marks attribute time since the
-// previous Mark (or this Begin).
+// previous Mark (or this Begin). On unsampled cycles (see the profiler's
+// stride) Begin only decrements a counter and Marks are no-ops.
 func (t *PhaseTimer) Begin() {
+	t.pending++
+	if t.countdown > 0 {
+		t.countdown--
+		t.sampling = false
+		return
+	}
+	t.countdown = t.pp.stride - 1
+	t.sampling = true
+	t.pp.cycles.Add(t.pending)
+	t.pending = 0
 	t.last = t.pp.now()
-	t.pp.cycles.Add(1)
 }
 
-// Mark attributes the time elapsed since the last Begin/Mark to phase p.
+// Mark attributes the time elapsed since the last Begin/Mark to phase p,
+// scaled by the profiler's sampling stride.
 func (t *PhaseTimer) Mark(p Phase) {
+	if !t.sampling {
+		return
+	}
 	now := t.pp.now()
-	t.pp.nanos[p].Add(now - t.last)
+	t.pp.nanos[p].Add((now - t.last) * t.pp.stride)
 	t.last = now
 }
 

@@ -46,6 +46,11 @@ type Bernoulli struct {
 	g       *topology.Grid
 	pattern Pattern
 	rate    float64
+	// thr is rate as a precomputed Uint53 cutoff: per-node trials compare a
+	// raw draw against it instead of converting to float every cycle. The
+	// outcomes are exactly those of Bernoulli(rate) on the same stream (see
+	// rng.BernoulliThreshold).
+	thr uint64
 	// Separate sequences for interarrival times and destination selection,
 	// as in the paper.
 	arr *rng.Stream
@@ -61,7 +66,7 @@ func NewBernoulli(g *topology.Grid, pattern Pattern, rate float64, seed uint64) 
 	if rate < 0 || rate > 1 {
 		panic(fmt.Sprintf("traffic: rate %g out of [0,1]", rate))
 	}
-	b := &Bernoulli{g: g, pattern: pattern, rate: rate}
+	b := &Bernoulli{g: g, pattern: pattern, rate: rate, thr: rng.BernoulliThreshold(rate)}
 	b.Reseed(seed)
 	b.meanDist, b.hopWeight = distanceStats(g, pattern)
 	return b
@@ -78,10 +83,18 @@ func (b *Bernoulli) Rate() float64 { return b.rate }
 // Pattern returns the destination pattern.
 func (b *Bernoulli) Pattern() Pattern { return b.pattern }
 
-// Arrivals draws one Bernoulli trial per node.
+// Arrivals draws one Bernoulli trial per node. The trial loop mirrors
+// rng.Stream.Bernoulli exactly — rate endpoints consume no draws, interior
+// rates one Uint64 per node — but compares raw 53-bit draws against the
+// precomputed cutoff, which is the engine's single hottest loop.
 func (b *Bernoulli) Arrivals(_ int64, dst []Arrival) []Arrival {
-	for src := 0; src < b.g.Nodes(); src++ {
-		if !b.arr.Bernoulli(b.rate) {
+	if b.rate <= 0 {
+		return dst
+	}
+	nodes := b.g.Nodes()
+	arr, thr := b.arr, b.thr
+	for src := 0; src < nodes; src++ {
+		if b.rate < 1 && arr.Uint53() >= thr {
 			continue
 		}
 		d := b.pattern.Dest(src, b.dst)
