@@ -1,15 +1,21 @@
 // Command wormlint runs wormsim's domain-specific static-analysis suite
 // (see internal/lint): determinism of the simulation core, zero-alloc
-// discipline on the engine's per-cycle call graph, nil-guarded telemetry
-// hooks, lock-copy and loop-capture hazards, and error-message conventions.
+// discipline on the engine's whole-program per-cycle call graph, atomic and
+// mutex discipline, hook-escape copying, nil-guarded telemetry hooks,
+// lock-copy and loop-capture hazards, and error-message conventions.
 //
-//	wormlint ./...              # whole repo (the CI gate)
-//	wormlint ./internal/core    # one package
-//	wormlint -list              # describe the passes
+//	wormlint ./...                      # whole repo (the CI gate)
+//	wormlint ./internal/core            # one package
+//	wormlint -list                      # describe the passes
+//	wormlint -passes errfmt,lockscope   # run a subset
+//	wormlint -fix ./...                 # apply suggested fixes in place
+//	wormlint -sarif out.sarif ./...     # SARIF 2.1.0 for code scanning
+//	wormlint -writebaseline lint.txt    # accept today's findings as debt
+//	wormlint -baseline lint.txt ./...   # gate only on new findings
 //
 // Findings print as "file:line: [pass] message". Exit status: 0 clean,
 // 1 findings, 2 usage or load/type-check failure. Intentional uses are
-// annotated in the source with `//lint:allow <pass> reason`.
+// annotated in the source with `//lint:allow <pass>[,<pass>...] reason`.
 package main
 
 import (
@@ -17,17 +23,33 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"wormsim/internal/lint"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the passes and exit")
+	passesFlag := flag.String("passes", "", "comma-separated pass names to run (default: all)")
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source files")
+	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	baselinePath := flag.String("baseline", "", "suppress findings listed in this baseline file")
+	writeBaseline := flag.String("writebaseline", "", "write current findings to this baseline file and exit 0")
 	flag.Parse()
 
+	passes := lint.DefaultPasses()
+	if *passesFlag != "" {
+		var err error
+		passes, err = lint.SelectPasses(*passesFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wormlint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	if *list {
-		for _, p := range lint.DefaultPasses() {
-			fmt.Printf("%-16s %s\n", p.Name(), p.Doc())
+		for _, p := range passes {
+			fmt.Printf("%-18s %s\n", p.Name(), p.Doc())
 		}
 		return
 	}
@@ -46,19 +68,101 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wormlint: %v\n", err)
 		os.Exit(2)
 	}
-	findings := lint.Run(pkgs, lint.DefaultPasses())
-	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		name := f.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
-				name = rel
+	findings := lint.Run(pkgs, passes)
+
+	if *fix {
+		patched, err := lint.ApplyFixes(loader.Fset, findings)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wormlint: -fix: %v\n", err)
+			os.Exit(2)
+		}
+		var names []string
+		for name := range patched { //lint:allow simdeterminism (sorted below)
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := os.WriteFile(name, patched[name], 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "wormlint: -fix: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "wormlint: fixed %s\n", relPath(name))
+		}
+		// Report what -fix could not resolve: reload and re-run so line
+		// numbers match the patched sources.
+		if len(names) > 0 {
+			loader, err = lint.NewLoader(".")
+			if err == nil {
+				pkgs, err = loader.Load(patterns...)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wormlint: reload after -fix: %v\n", err)
+				os.Exit(2)
+			}
+			findings = lint.Run(pkgs, passes)
+		}
+	}
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err == nil {
+			err = lint.WriteBaseline(f, findings, loader.ModRoot)
+			if cerr := f.Close(); err == nil {
+				err = cerr
 			}
 		}
-		fmt.Printf("%s:%d: [%s] %s\n", name, f.Pos.Line, f.Pass, f.Msg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wormlint: -writebaseline: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "wormlint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return
+	}
+
+	if *baselinePath != "" {
+		base, err := lint.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wormlint: -baseline: %v\n", err)
+			os.Exit(2)
+		}
+		var suppressed int
+		findings, suppressed = lint.FilterBaseline(findings, base, loader.ModRoot)
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "wormlint: %d baselined finding(s) suppressed\n", suppressed)
+		}
+	}
+
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err == nil {
+			err = lint.WriteSARIF(f, findings, passes, loader.ModRoot)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wormlint: -sarif: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	for _, f := range findings {
+		fmt.Printf("%s:%d: [%s] %s\n", relPath(f.Pos.Filename), f.Pos.Line, f.Pass, f.Msg)
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "wormlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// relPath renders name relative to the working directory when it is inside.
+func relPath(name string) string {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return name
+	}
+	if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
+		return rel
+	}
+	return name
 }

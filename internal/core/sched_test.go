@@ -213,3 +213,77 @@ func TestFindSaturationSetMatchesIndividualSearches(t *testing.T) {
 		}
 	}
 }
+
+// TestSchedulerZeroTasks: Wait and Close on an idle pool must return
+// immediately instead of parking forever on the condition variable.
+func TestSchedulerZeroTasks(t *testing.T) {
+	s := NewScheduler(4)
+	done := make(chan struct{})
+	go func() {
+		s.Wait()
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Wait/Close with zero tasks did not return")
+	}
+}
+
+// TestSchedulerSingleWorker: with one worker there is nobody to steal from;
+// submissions and spawns must still all run, in some order, exactly once.
+func TestSchedulerSingleWorker(t *testing.T) {
+	s := NewScheduler(1)
+	var runs [40]atomic.Int64
+	for i := 0; i < 20; i++ {
+		i := i
+		s.Submit(func(w int) {
+			runs[i].Add(1)
+			s.Spawn(w, func(int) { runs[20+i].Add(1) })
+		})
+	}
+	s.Close()
+	for i := range runs {
+		if got := runs[i].Load(); got != 1 {
+			t.Errorf("task %d ran %d times, want exactly once", i, got)
+		}
+	}
+}
+
+// TestSchedulerMoreWorkersThanTasks: idle workers must park and shut down
+// cleanly when the pool is wider than the workload.
+func TestSchedulerMoreWorkersThanTasks(t *testing.T) {
+	s := NewScheduler(16)
+	var ran atomic.Int64
+	for i := 0; i < 3; i++ {
+		s.Submit(func(int) { ran.Add(1) })
+	}
+	s.Close()
+	if ran.Load() != 3 {
+		t.Errorf("ran %d of 3 tasks", ran.Load())
+	}
+}
+
+// TestSchedulerStealHeavyExactlyOnce funnels all submissions through one
+// producer while every worker's own spawns pile onto its local deque, so
+// most dispatch happens by stealing; each task must still run exactly once.
+func TestSchedulerStealHeavyExactlyOnce(t *testing.T) {
+	const tasks = 2000
+	s := NewScheduler(8)
+	var runs [tasks]atomic.Int64
+	for i := 0; i < tasks/2; i++ {
+		i := i
+		s.Submit(func(w int) {
+			runs[i].Add(1)
+			j := tasks/2 + i
+			s.Spawn(w, func(int) { runs[j].Add(1) })
+		})
+	}
+	s.Close()
+	for i := range runs {
+		if got := runs[i].Load(); got != 1 {
+			t.Fatalf("task %d ran %d times, want exactly once", i, got)
+		}
+	}
+}

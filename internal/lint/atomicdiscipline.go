@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicDiscipline enforces "a memory location is either atomic or it is
+// not": mixing sync/atomic operations with plain loads and stores on the
+// same field is a data race the race detector only catches when both sides
+// fire in one run. The pass flags, program-wide:
+//
+//   - any variable or field whose address is passed to a sync/atomic
+//     function anywhere in the program, when it is also read, written, or
+//     address-taken outside a sync/atomic call;
+//   - any field or variable of a typed atomic (atomic.Int64, atomic.Bool,
+//     atomic.Pointer[T], atomic.Value, ..., or an array of them) used as a
+//     plain value: assigned over, copied, passed by value, or compared —
+//     anything other than calling its methods or taking its address.
+//
+// The engine's shared accumulators (core.Scheduler bookkeeping, the
+// observatory publisher's snapshot pointer, telemetry.PhaseProfiler's
+// per-phase counters) are exactly the locations this protects. A
+// deliberately unsynchronized read (a stats-only fast path) is annotated in
+// place with //lint:allow atomicdiscipline and a reason.
+type AtomicDiscipline struct{}
+
+// NewAtomicDiscipline returns the pass.
+func NewAtomicDiscipline() *AtomicDiscipline { return &AtomicDiscipline{} }
+
+// Name returns "atomicdiscipline".
+func (*AtomicDiscipline) Name() string { return "atomicdiscipline" }
+
+// Doc describes the pass.
+func (*AtomicDiscipline) Doc() string {
+	return "forbid plain access to fields that are elsewhere accessed via sync/atomic or typed atomics"
+}
+
+// RunProgram collects the atomically-accessed variables across the whole
+// program, then flags every undisciplined access.
+func (a *AtomicDiscipline) RunProgram(prog *Program) []Finding {
+	disciplined := make(map[*types.Var]bool)
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicPkgCall(p, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					if v := addressedVar(p, arg); v != nil {
+						disciplined[v] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	var out []Finding
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			out = append(out, a.checkFile(p, f, disciplined)...)
+		}
+	}
+	return out
+}
+
+// checkFile flags undisciplined accesses in one file.
+func (a *AtomicDiscipline) checkFile(p *Package, f *ast.File, disciplined map[*types.Var]bool) []Finding {
+	var out []Finding
+	walkStack(f, func(n ast.Node, stack []ast.Node) {
+		v := accessedVar(p, n, stack)
+		if v == nil {
+			return
+		}
+		e := n.(ast.Expr)
+		if disciplined[v] {
+			if !sanctionedAtomicUse(p, stack, e) {
+				out = append(out, p.finding(a.Name(), n,
+					"%s is accessed via sync/atomic elsewhere but plainly here; every access must go through sync/atomic", v.Name()))
+			}
+			return
+		}
+		if isTypedAtomic(v.Type()) && plainValueContext(stack, e) {
+			out = append(out, p.finding(a.Name(), n,
+				"typed atomic %s used as a plain value; call its methods (Load/Store/Add/...) instead of copying or assigning it", v.Name()))
+		}
+	})
+	return out
+}
+
+// accessedVar resolves n to the variable it reads or writes: a selector
+// x.f to its field, a bare identifier to its object. Identifiers that are
+// the Sel of an enclosing selector are skipped so each access counts once,
+// as are declaration-site and field-declaration identifiers.
+func accessedVar(p *Package, n ast.Node, stack []ast.Node) *types.Var {
+	switch n := n.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+	case *ast.Ident:
+		if len(stack) > 0 {
+			if parent, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && parent.Sel == n {
+				return nil
+			}
+		}
+		if v, ok := p.Info.Uses[n].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// addressedVar resolves an `&x.f` or `&v` argument to the variable whose
+// address is taken, or nil.
+func addressedVar(p *Package, arg ast.Expr) *types.Var {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	switch e := ast.Unparen(u.X).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+	case *ast.Ident:
+		v, _ := p.Info.Uses[e].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// isAtomicPkgCall reports whether call is sync/atomic.F(...).
+func isAtomicPkgCall(p *Package, call *ast.CallExpr) bool {
+	_, ok := pkgFuncCall(p, call, "sync/atomic")
+	return ok
+}
+
+// sanctionedAtomicUse reports whether the access at e is `&e` passed
+// directly as an argument of a sync/atomic call — the only blessed way to
+// touch a disciplined plain-typed variable.
+func sanctionedAtomicUse(p *Package, stack []ast.Node, e ast.Expr) bool {
+	i := len(stack) - 1
+	for ; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		break
+	}
+	if i < 1 {
+		return false
+	}
+	u, ok := stack[i].(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return false
+	}
+	for i--; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	call, ok := stack[i].(*ast.CallExpr)
+	return ok && isAtomicPkgCall(p, call)
+}
+
+// isTypedAtomic reports whether t is a named type from sync/atomic
+// (atomic.Int64, atomic.Pointer[T], ...) or an array of one.
+func isTypedAtomic(t types.Type) bool {
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return isTypedAtomic(arr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// plainValueContext reports whether the atomic-typed expression e is used
+// as a plain value. Blessed contexts: receiver of a selector (method
+// calls), operand of &, element access into an atomic array (recursively),
+// and parentheses.
+func plainValueContext(stack []ast.Node, e ast.Expr) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			e = parent
+			continue
+		case *ast.SelectorExpr:
+			return parent.X != e // x.f.Load() is fine; y.(x.f) impossible
+		case *ast.UnaryExpr:
+			return parent.Op != token.AND
+		case *ast.IndexExpr:
+			if parent.X == e {
+				e = parent
+				continue
+			}
+			return true
+		default:
+			return true
+		}
+	}
+	return true
+}

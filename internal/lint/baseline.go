@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Baselines make a new pass adoptable on a repo with existing debt: record
+// today's findings once (-writebaseline), gate only on findings NOT in the
+// file (-baseline), and burn the file down over time. Entries are keyed by
+// the canonical finding line with the path made repository-relative, so the
+// file is stable across checkouts. Line numbers are included deliberately:
+// moving a suppressed violation invalidates its entry, which keeps baselined
+// debt from migrating silently.
+
+// baselineKey is the canonical form of one finding: "file:line: [pass] msg"
+// with file relative to root, forward slashes.
+func baselineKey(f Finding, root string) string {
+	file := f.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	g := f
+	g.Pos.Filename = filepath.ToSlash(file)
+	return g.String()
+}
+
+// WriteBaseline writes one canonical line per finding. Findings arrive
+// sorted from Run, so the file is deterministic and diff-friendly.
+func WriteBaseline(w io.Writer, findings []Finding, root string) error {
+	var buf bytes.Buffer
+	buf.WriteString("# wormlint baseline: known findings accepted as debt.\n")
+	buf.WriteString("# Regenerate with wormlint -writebaseline; burn down over time.\n")
+	for _, f := range findings {
+		buf.WriteString(baselineKey(f, root))
+		buf.WriteByte('\n')
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// ReadBaseline loads the set of baselined finding keys from path.
+func ReadBaseline(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	keys := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		keys[line] = true
+	}
+	return keys, sc.Err()
+}
+
+// FilterBaseline drops findings whose canonical key is in the baseline,
+// returning the survivors and how many were suppressed.
+func FilterBaseline(findings []Finding, baseline map[string]bool, root string) ([]Finding, int) {
+	if len(baseline) == 0 {
+		return findings, 0
+	}
+	out := findings[:0:0]
+	suppressed := 0
+	for _, f := range findings {
+		if baseline[baselineKey(f, root)] {
+			suppressed++
+			continue
+		}
+		out = append(out, f)
+	}
+	return out, suppressed
+}

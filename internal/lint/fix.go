@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// TextEdit replaces the source bytes in [Pos, End) with NewText. Pos == End
+// is a pure insertion.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
+// Fix is a suggested resolution for a finding: a human-readable description
+// and the edits that implement it. Fixes are only attached when the rewrite
+// is mechanical and behavior-preserving (errfmt's %v→%w on an error operand,
+// loopcapture's rebind, hookguard's nil-guard); everything else stays a
+// diagnostic for a human.
+type Fix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// fileEdit is a Fix edit resolved to byte offsets within one file.
+type fileEdit struct {
+	start, end int
+	text       string
+}
+
+// indentAt returns the leading indentation of the line a statement starts
+// on, assuming gofmt's tab-only indentation (column is 1-based bytes).
+func indentAt(fset *token.FileSet, pos token.Pos) string {
+	col := fset.Position(pos).Column
+	if col < 1 {
+		return ""
+	}
+	b := make([]byte, col-1)
+	for i := range b {
+		b[i] = '\t'
+	}
+	return string(b)
+}
+
+// ApplyFixes gathers every fix attached to findings, resolves the edits to
+// byte offsets, and returns the patched content per file. Edits are applied
+// in offset order; when two fixes overlap (two findings proposing to rewrite
+// the same bytes) the first in finding order wins and the rest of that
+// overlapping fix is dropped whole, so -fix never produces garbled output —
+// a second run picks up whatever remains.
+func ApplyFixes(fset *token.FileSet, findings []Finding) (map[string][]byte, error) {
+	perFile := make(map[string][]fileEdit)
+	var names []string
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		for _, e := range f.Fix.Edits {
+			pos := fset.Position(e.Pos)
+			end := fset.Position(e.End)
+			if pos.Filename == "" || end.Filename != pos.Filename || end.Offset < pos.Offset {
+				return nil, fmt.Errorf("lint: invalid edit span for %q at %s", f.Fix.Message, pos)
+			}
+			if _, ok := perFile[pos.Filename]; !ok {
+				names = append(names, pos.Filename)
+			}
+			perFile[pos.Filename] = append(perFile[pos.Filename], fileEdit{
+				start: pos.Offset,
+				end:   end.Offset,
+				text:  e.NewText,
+			})
+		}
+	}
+	sort.Strings(names)
+
+	out := make(map[string][]byte, len(perFile))
+	for _, name := range names {
+		edits := perFile[name]
+		sort.SliceStable(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		var buf []byte
+		last := 0
+		for _, e := range edits {
+			if e.start < last || e.end > len(src) {
+				continue // overlaps an already-applied edit; dropped
+			}
+			buf = append(buf, src[last:e.start]...)
+			buf = append(buf, e.text...)
+			last = e.end
+		}
+		buf = append(buf, src[last:]...)
+		out[name] = buf
+	}
+	return out, nil
+}

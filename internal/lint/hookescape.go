@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HookEscape polices the engine/observer boundary: a value handed to a hook
+// (any call through a plain function value — cfg.OnTick, cfg.OnSample,
+// cfg.OnDeliver, an injected clock, a scheduler task) escapes the engine's
+// control. The subscriber may retain it across cycles, so it must be a deep
+// copy: no argument may carry a reference into engine-owned state, or the
+// next cycle's in-place mutation races with (or silently rewrites) what the
+// observer thinks it captured.
+//
+// The pass walks each hook argument's provenance:
+//
+//   - composite literals are checked field by field (a TickEvent built from
+//     freshly-returned values is fine; one embedding n.buf is not);
+//   - a local variable is traced one assignment back to what produced it;
+//   - call results are presumed owned by the caller (accessor methods like
+//     WormStates() return copies by contract);
+//   - a selector or index chain rooted at the receiver, a parameter, or a
+//     package-level variable whose type carries references (pointer, slice,
+//     map, channel, interface, or a struct containing one) is flagged.
+//
+// A deliberate zero-copy handoff — a pooled pointer documented as valid only
+// during the callback — is annotated in place with //lint:allow hookescape
+// and a reason.
+type HookEscape struct{}
+
+// NewHookEscape returns the pass.
+func NewHookEscape() *HookEscape { return &HookEscape{} }
+
+// Name returns "hookescape".
+func (*HookEscape) Name() string { return "hookescape" }
+
+// Doc describes the pass.
+func (*HookEscape) Doc() string {
+	return "arguments to hook (function-value) calls must not carry references into engine-owned state"
+}
+
+// RunProgram checks every hook invocation in every declared function.
+func (h *HookEscape) RunProgram(prog *Program) []Finding {
+	var out []Finding
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				out = append(out, h.checkDecl(p, fd)...)
+			}
+		}
+	}
+	return out
+}
+
+// checkDecl flags escaping hook arguments inside one function declaration.
+func (h *HookEscape) checkDecl(p *Package, fd *ast.FuncDecl) []Finding {
+	owned := ownedRoots(p, fd)
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		hook, isHook := hookCallName(p, call)
+		if !isHook {
+			return true
+		}
+		for _, arg := range call.Args {
+			if desc, bad := h.escapes(p, fd, owned, arg, 0); bad {
+				out = append(out, p.finding(h.Name(), arg,
+					"%s passed to hook %s references engine-owned state; pass a deep copy (the subscriber may retain it across cycles)", desc, hook))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hookCallName reports whether call invokes a hook — a function value held
+// in a struct field (cfg.OnTick, p.now) or a package-level variable — and
+// names it for the diagnostic. Static function and method calls, conversions,
+// builtins and local closure helpers (same-function code, nothing escapes)
+// are not hooks.
+func hookCallName(p *Package, call *ast.CallExpr) (string, bool) {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := p.Info.Types[fun]; !ok || !tv.IsValue() {
+		return "", false
+	}
+	if _, ok := p.Info.TypeOf(fun).Underlying().(*types.Signature); !ok {
+		return "", false
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[f].(*types.Var); ok && isPackageVar(p, v) {
+			return f.Name, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[f]; ok && sel.Kind() == types.FieldVal {
+			return types.ExprString(f), true
+		}
+	}
+	return "", false
+}
+
+// ownedRoots collects the variables that stand for engine-owned state inside
+// fd: the receiver and the parameters. Package-level variables are detected
+// by scope instead.
+func ownedRoots(p *Package, fd *ast.FuncDecl) map[*types.Var]bool {
+	owned := make(map[*types.Var]bool)
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if v, ok := p.Info.Defs[name].(*types.Var); ok {
+					owned[v] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return owned
+}
+
+// escapes reports whether the hook argument e carries a reference into
+// engine-owned state, with a short description of the offending expression.
+// depth bounds the one-assignment-back provenance trace.
+func (h *HookEscape) escapes(p *Package, fd *ast.FuncDecl, owned map[*types.Var]bool, e ast.Expr, depth int) (string, bool) {
+	if depth > 4 {
+		return "", false
+	}
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if desc, bad := h.escapes(p, fd, owned, v, depth+1); bad {
+				return desc, true
+			}
+		}
+		return "", false
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			// &T{...}: a fresh value, but its fields may still leak;
+			// &x.f: the address of engine state, always a leak.
+			if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				return h.escapes(p, fd, owned, e.X, depth+1)
+			}
+			if rootedInOwned(p, owned, e.X) {
+				return types.ExprString(e), true
+			}
+		}
+		return "", false
+	case *ast.Ident:
+		v, ok := p.Info.Uses[e].(*types.Var)
+		if !ok {
+			return "", false
+		}
+		if (owned[v] || isPackageVar(p, v)) && carriesRef(v.Type(), nil) {
+			// A parameter passed straight through is the caller's problem,
+			// not an engine leak — only the receiver and package state are.
+			if isReceiverVar(p, fd, v) || isPackageVar(p, v) {
+				return e.Name, true
+			}
+			return "", false
+		}
+		// Local variable: trace one assignment back to what produced it.
+		if rhs := localAssignment(p, fd, v); rhs != nil {
+			return h.escapes(p, fd, owned, rhs, depth+1)
+		}
+		return "", false
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr, *ast.StarExpr:
+		if t := p.Info.TypeOf(e); t != nil && carriesRef(t, nil) && rootedInOwned(p, owned, e) {
+			return types.ExprString(e), true
+		}
+		return "", false
+	}
+	return "", false
+}
+
+// rootedInOwned walks a selector/index/slice/deref chain to its base
+// identifier and reports whether that base is the receiver, a parameter, or
+// a package-level variable.
+func rootedInOwned(p *Package, owned map[*types.Var]bool, e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := p.Info.Selections[x]; !ok || sel.Kind() != types.FieldVal {
+				return false // method value or qualified ident, not state
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			v, ok := p.Info.Uses[x].(*types.Var)
+			return ok && (owned[v] || isPackageVar(p, v))
+		default:
+			return false
+		}
+	}
+}
+
+// localAssignment finds the rhs of an assignment to v inside fd's body, or
+// nil. With several assignments the last one wins — a heuristic, but hook
+// arguments are almost always built immediately before the call.
+func localAssignment(p *Package, fd *ast.FuncDecl, v *types.Var) ast.Expr {
+	var rhs ast.Expr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if p.Info.Defs[id] == v || p.Info.Uses[id] == v {
+				rhs = as.Rhs[i]
+			}
+		}
+		return true
+	})
+	return rhs
+}
+
+// isPackageVar reports whether v is declared at package scope.
+func isPackageVar(p *Package, v *types.Var) bool {
+	return v.Parent() == p.Types.Scope()
+}
+
+// isReceiverVar reports whether v is fd's receiver.
+func isReceiverVar(p *Package, fd *ast.FuncDecl, v *types.Var) bool {
+	if fd.Recv == nil {
+		return false
+	}
+	for _, field := range fd.Recv.List {
+		for _, name := range field.Names {
+			if p.Info.Defs[name] == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// carriesRef reports whether a value of type t shares memory when shallowly
+// copied: pointers, slices, maps, channels, interfaces, or an aggregate
+// containing one. Function values and scalars do not count.
+func carriesRef(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface:
+		return true
+	case *types.Array:
+		return carriesRef(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesRef(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

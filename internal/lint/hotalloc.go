@@ -6,8 +6,10 @@ import (
 )
 
 // HotAlloc machine-enforces the engine's zero-alloc steady-state contract:
-// inside the per-cycle call graph — every function in the target package
-// reachable from the engine's cycle entry point — the pass forbids
+// inside the per-cycle call graph — every function in the program reachable
+// from the engine's cycle entry point, across package boundaries and
+// through conservatively devirtualized interface calls (routing algorithms,
+// selection policies, workloads) — the pass forbids
 //
 //   - make(map[...]...), and
 //   - map composite literals (both allocate, and maps additionally regrow
@@ -16,15 +18,14 @@ import (
 //   - function literals (a closure that captures variables allocates its
 //     environment every evaluation; hoist it to a field or a method).
 //
-// The graph is intra-package and static: calls through interfaces or
-// function-valued fields (routing algorithms, telemetry hooks) are the
-// package boundary and are not followed. Setup-only allocations that
-// genuinely belong on the hot path's source (a scratch table rebuilt only
-// on topology change, a terminal error report) are annotated in place with
-// //lint:allow hotalloc and a reason.
+// Calls through plain function values (telemetry hooks, OnDeliver) still
+// have no static callee and are the graph's boundary. Setup-only
+// allocations that genuinely belong on the hot path's source (a scratch
+// table rebuilt only on topology change, a terminal error report) are
+// annotated in place with //lint:allow hotalloc and a reason.
 type HotAlloc struct {
-	// Target is the import path the pass applies to.
-	Target string
+	// TargetPkg is the import path holding the entry point.
+	TargetPkg string
 	// Root names the cycle entry point, "Func" or "(*Recv).Func".
 	Root string
 }
@@ -32,7 +33,7 @@ type HotAlloc struct {
 // NewHotAlloc guards the engine: everything network.(*Network).Step reaches
 // runs once per simulated cycle.
 func NewHotAlloc() *HotAlloc {
-	return &HotAlloc{Target: "wormsim/internal/network", Root: "(*Network).Step"}
+	return &HotAlloc{TargetPkg: "wormsim/internal/network", Root: "(*Network).Step"}
 }
 
 // Name returns "hotalloc".
@@ -40,136 +41,69 @@ func (*HotAlloc) Name() string { return "hotalloc" }
 
 // Doc describes the pass.
 func (*HotAlloc) Doc() string {
-	return "forbid map allocation and closures in the engine's per-cycle call graph"
+	return "forbid map allocation and closures in the engine's whole-program per-cycle call graph"
 }
 
-// Run reports hot-path allocation constructs in the target package.
-func (h *HotAlloc) Run(p *Package) []Finding {
-	if p.Path != h.Target {
+// RunProgram reports hot-path allocation constructs in every function
+// reachable from the root, wherever it lives.
+func (h *HotAlloc) RunProgram(prog *Program) []Finding {
+	target := prog.Package(h.TargetPkg)
+	if target == nil {
+		// The entry-point package is not part of this load (e.g. wormlint
+		// pointed at a single unrelated package); nothing to check.
 		return nil
 	}
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	var root *types.Func
-	for _, f := range p.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok {
-				continue
-			}
-			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			decls[obj] = fd
-			if funcDeclName(fd) == h.Root {
-				root = obj
-			}
-		}
-	}
+	root := prog.FindFunc(h.TargetPkg, h.Root)
 	if root == nil {
 		// A renamed entry point must not silently disarm the gate.
-		return []Finding{p.finding(h.Name(), p.Files[0],
-			"hot-path root %s not found in %s; update the pass configuration", h.Root, p.Path)}
+		return []Finding{target.finding(h.Name(), target.Files[0],
+			"hot-path root %s not found in %s; update the pass configuration", h.Root, h.TargetPkg)}
 	}
 
-	// Breadth-first closure over intra-package static calls. Bodies of
-	// nested function literals count: they run when the enclosing hot
-	// function runs them.
-	reach := map[*types.Func]bool{root: true}
-	queue := []*types.Func{root}
-	for len(queue) > 0 {
-		fd := decls[queue[0]]
-		queue = queue[1:]
-		if fd == nil || fd.Body == nil {
-			continue
-		}
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			callee := calleeFunc(p, call)
-			if callee == nil || callee.Pkg() != p.Types || reach[callee] {
-				return true
-			}
-			reach[callee] = true
-			queue = append(queue, callee)
-			return true
-		})
-	}
-
+	reach := prog.Graph().ReachableFrom(root)
 	var out []Finding
-	for fn, fd := range decls { //lint:allow simdeterminism (findings sorted by the framework)
-		if !reach[fn] || fd.Body == nil {
-			continue
-		}
-		name := funcDeclName(fd)
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" && len(n.Args) > 0 {
-					if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && isMapType(p, n.Args[0]) {
-						out = append(out, p.finding(h.Name(), n,
-							"make(map) in %s, on the per-cycle path from %s; use a generation-counter scratch or //lint:allow hotalloc with a reason", name, h.Root))
-					}
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
 				}
-			case *ast.CompositeLit:
-				if isMapType(p, n) {
-					out = append(out, p.finding(h.Name(), n,
-						"map literal in %s, on the per-cycle path from %s; use a generation-counter scratch or //lint:allow hotalloc with a reason", name, h.Root))
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok || !reach.Set[fn] {
+					continue
 				}
-			case *ast.FuncLit:
-				out = append(out, p.finding(h.Name(), n,
-					"closure in %s, on the per-cycle path from %s, allocates its environment; hoist it to a field or method, or //lint:allow hotalloc with a reason", name, h.Root))
+				out = append(out, h.checkBody(p, fd, reach)...)
 			}
-			return true
-		})
+		}
 	}
 	return out
 }
 
-// funcDeclName renders a declaration as the Root spec syntax: "Func" for
-// plain functions, "(Recv).Func" or "(*Recv).Func" for methods.
-func funcDeclName(fd *ast.FuncDecl) string {
-	if fd.Recv == nil || len(fd.Recv.List) == 0 {
-		return fd.Name.Name
-	}
-	t := fd.Recv.List[0].Type
-	star := ""
-	if s, ok := t.(*ast.StarExpr); ok {
-		t, star = s.X, "*"
-	}
-	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver
-		t = ix.X
-	}
-	id, ok := t.(*ast.Ident)
-	if !ok {
-		return fd.Name.Name
-	}
-	return "(" + star + id.Name + ")." + fd.Name.Name
-}
-
-// calleeFunc resolves a call expression to the statically named function or
-// method, or nil for builtins, conversions and calls through values.
-func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		fn, _ := p.Info.Uses[fun].(*types.Func)
-		return fn
-	case *ast.SelectorExpr:
-		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
-		return fn
-	}
-	return nil
-}
-
-// isMapType reports whether the expression's type (or the type it names)
-// is a map.
-func isMapType(p *Package, e ast.Expr) bool {
-	t := p.Info.TypeOf(e)
-	if t == nil {
-		return false
-	}
-	_, ok := t.Underlying().(*types.Map)
-	return ok
+// checkBody flags the allocation constructs inside one reachable function.
+func (h *HotAlloc) checkBody(p *Package, fd *ast.FuncDecl, reach *Reach) []Finding {
+	fn := p.Info.Defs[fd.Name].(*types.Func)
+	chain := reach.Chain(fn, p)
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" && len(n.Args) > 0 {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && isMapType(p, n.Args[0]) {
+					out = append(out, p.finding(h.Name(), n,
+						"make(map) on the per-cycle path %s; use a generation-counter scratch or //lint:allow hotalloc with a reason", chain))
+				}
+			}
+		case *ast.CompositeLit:
+			if isMapType(p, n) {
+				out = append(out, p.finding(h.Name(), n,
+					"map literal on the per-cycle path %s; use a generation-counter scratch or //lint:allow hotalloc with a reason", chain))
+			}
+		case *ast.FuncLit:
+			out = append(out, p.finding(h.Name(), n,
+				"closure on the per-cycle path %s allocates its environment; hoist it to a field or method, or //lint:allow hotalloc with a reason", chain))
+		}
+		return true
+	})
+	return out
 }

@@ -3,19 +3,39 @@
 // passes that machine-enforce the invariants the paper's methodology and
 // the simulator's design rest on.
 //
+// Passes come in two shapes. A PackagePass inspects one package at a time
+// (syntactic and local-type rules). A ProgramPass sees the whole loaded
+// module at once through a Program: a cross-package static call graph with
+// conservative devirtualization of interface and method-value calls, plus a
+// shared reaching-facts dataflow driver (see callgraph.go). The hot-path
+// passes are program passes, so "no allocation reachable from Step" holds
+// across package boundaries, not just inside internal/network.
+//
 // The passes:
 //
 //   - simdeterminism — the simulation core must be bit-reproducible from
-//     its seeds: no math/rand, no wall clock, no iteration over maps.
+//     its seeds: no math/rand, no wall clock, no iteration over maps —
+//     enforced per target package and on everything reachable from the
+//     engine's cycle entry point, across packages.
 //   - hotalloc — the engine's per-cycle call graph must stay allocation
-//     free: no make(map), map literals or closures reachable from Step.
+//     free: no make(map), map literals or closures reachable from Step,
+//     through cross-package calls and devirtualized interface calls.
 //   - hookguard — telemetry hook call sites must be nil-guarded so that
 //     disabled telemetry stays a branch, never a panic.
+//   - atomicdiscipline — a field touched through sync/atomic (or typed
+//     atomic.Int64/atomic.Pointer/...) must never be accessed plainly.
+//   - lockscope — no channel send/recv, function-value (hook) invocation,
+//     or blocking call while a sync.Mutex is held; locks unlock on all
+//     return paths.
+//   - hookescape — values handed to engine hooks must be deep copies: no
+//     argument may carry a reference into engine-owned state.
 //   - mutexcopy — locks must not be copied through receivers or parameters.
 //   - loopcapture — go/defer closures must not capture variables the
 //     enclosing loop keeps reassigning.
 //   - errfmt — error strings follow Go conventions and error operands are
 //     wrapped with %w.
+//   - lintdirective — //lint:allow directives must name registered passes
+//     (stale suppressions rot).
 //
 // A finding can be suppressed where the flagged use is intentional by
 // annotating the line (or the line above it) with a directive:
@@ -23,7 +43,11 @@
 //	//lint:allow <pass>[,<pass>...] [reason]
 //
 // Findings print as "file:line: [pass] message"; cmd/wormlint exits
-// non-zero if any survive, which makes the suite a CI gate.
+// non-zero if any survive, which makes the suite a CI gate. Some findings
+// carry a suggested fix (errfmt %v→%w on error operands, loopcapture
+// rebinds, hookguard nil-guards) that cmd/wormlint -fix applies; -sarif
+// emits SARIF 2.1.0 for code-scanning upload and -baseline adopts new
+// passes incrementally.
 package lint
 
 import (
@@ -35,12 +59,15 @@ import (
 	"strings"
 )
 
-// Finding is one diagnostic: a position, the pass that produced it, and the
-// message.
+// Finding is one diagnostic: a position, the pass that produced it, the
+// message, and optionally a suggested fix.
 type Finding struct {
 	Pos  token.Position
 	Pass string
 	Msg  string
+	// Fix, when non-nil, is a textual edit that resolves the finding;
+	// cmd/wormlint -fix applies it (see fix.go).
+	Fix *Fix
 }
 
 // String renders the finding in the canonical "file:line: [pass] message"
@@ -49,39 +76,114 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pass, f.Msg)
 }
 
-// Pass is one analyzer. Run inspects a loaded package and returns raw
-// findings; the framework filters //lint:allow-suppressed ones afterwards.
+// Pass is the common surface of every analyzer: an identity for -passes
+// selection, directives and SARIF rules.
 type Pass interface {
 	Name() string
-	// Doc is a one-line description for -list.
+	// Doc is a one-line description for -list and the SARIF rule table.
 	Doc() string
+}
+
+// PackagePass is an analyzer that inspects one package at a time.
+type PackagePass interface {
+	Pass
 	Run(p *Package) []Finding
 }
 
-// DefaultPasses returns the full suite in reporting order.
+// ProgramPass is an analyzer that needs the whole loaded module: the
+// cross-package call graph, devirtualization, or directive indexes.
+type ProgramPass interface {
+	Pass
+	RunProgram(prog *Program) []Finding
+}
+
+// DefaultPasses returns the full suite in reporting order. The lintdirective
+// pass always knows every registered name, even when the caller later runs a
+// subset, so an //lint:allow for a deselected pass is never misreported.
 func DefaultPasses() []Pass {
-	return []Pass{
+	passes := []Pass{
 		NewSimDeterminism(),
 		NewHotAlloc(),
 		NewHookGuard(),
+		NewAtomicDiscipline(),
+		NewLockScope(),
+		NewHookEscape(),
 		MutexCopy{},
 		LoopCapture{},
 		ErrFmt{},
 	}
+	names := make([]string, 0, len(passes)+1)
+	for _, p := range passes {
+		names = append(names, p.Name())
+	}
+	names = append(names, "lintdirective")
+	return append(passes, NewLintDirective(names))
 }
 
-// Run applies every pass to every package, drops suppressed findings, and
-// returns the rest sorted by file, line and pass.
+// PassNames lists every registered pass name in reporting order.
+func PassNames() []string {
+	var names []string
+	for _, p := range DefaultPasses() {
+		names = append(names, p.Name())
+	}
+	return names
+}
+
+// SelectPasses resolves a comma-separated subset of pass names (as given to
+// cmd/wormlint -passes) against the registry, preserving reporting order.
+func SelectPasses(spec string) ([]Pass, error) {
+	want := make(map[string]bool)
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		want[name] = true
+	}
+	all := DefaultPasses()
+	var out []Pass
+	for _, p := range all {
+		if want[p.Name()] {
+			out = append(out, p)
+			delete(want, p.Name())
+		}
+	}
+	if len(want) > 0 {
+		var unknown []string
+		for name := range want { //lint:allow simdeterminism (sorted below)
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("lint: unknown pass(es) %s (run -list for the registry)", strings.Join(unknown, ", "))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: -passes selected nothing")
+	}
+	return out, nil
+}
+
+// Run applies every pass to the loaded packages, drops suppressed findings,
+// and returns the rest sorted by file, line, pass and message. Program
+// passes see all packages at once through a Program; package passes run per
+// package.
 func Run(pkgs []*Package, passes []Pass) []Finding {
+	prog := NewProgram(pkgs)
 	var out []Finding
-	for _, p := range pkgs {
-		for _, pass := range passes {
-			for _, f := range pass.Run(p) {
-				if p.Allowed(pass.Name(), f.Pos) {
-					continue
-				}
-				out = append(out, f)
+	for _, pass := range passes {
+		var raw []Finding
+		switch pp := pass.(type) {
+		case ProgramPass:
+			raw = pp.RunProgram(prog)
+		case PackagePass:
+			for _, p := range pkgs {
+				raw = append(raw, pp.Run(p)...)
 			}
+		}
+		for _, f := range raw {
+			if prog.Allowed(pass.Name(), f.Pos) {
+				continue
+			}
+			out = append(out, f)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -92,7 +194,10 @@ func Run(pkgs []*Package, passes []Pass) []Finding {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Pass < b.Pass
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Msg < b.Msg
 	})
 	return out
 }
@@ -109,11 +214,20 @@ type Package struct {
 	Info  *types.Info
 
 	allow map[allowKey]bool
+	// directives records every //lint:allow occurrence for the
+	// lintdirective pass.
+	directives []allowDirective
 }
 
 type allowKey struct {
 	file string
 	line int
+	pass string
+}
+
+// allowDirective is one pass name mentioned by one //lint:allow comment.
+type allowDirective struct {
+	pos  token.Position
 	pass string
 }
 
@@ -125,9 +239,11 @@ func (p *Package) Allowed(pass string, pos token.Position) bool {
 
 // collectAllows indexes every //lint:allow directive: a directive covers
 // its own line and, so that whole-line comments can annotate the statement
-// below them, the line immediately after the comment group.
-func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
+// below them, the line immediately after the comment group. The raw
+// directive list is returned alongside for the lintdirective pass.
+func collectAllows(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, []allowDirective) {
 	allow := make(map[allowKey]bool)
+	var directives []allowDirective
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -149,13 +265,14 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
 					if pass == "" {
 						continue
 					}
+					directives = append(directives, allowDirective{pos: pos, pass: pass})
 					allow[allowKey{file: pos.Filename, line: pos.Line, pass: pass}] = true
 					allow[allowKey{file: pos.Filename, line: endLine + 1, pass: pass}] = true
 				}
 			}
 		}
 	}
-	return allow
+	return allow, directives
 }
 
 // walkStack traverses root in source order, calling fn for every node with
@@ -180,4 +297,54 @@ func (p *Package) finding(pass string, n ast.Node, format string, args ...any) F
 		Pass: pass,
 		Msg:  fmt.Sprintf(format, args...),
 	}
+}
+
+// pkgFuncCall reports whether call is pkg.Func on the package named pkgPath
+// (resolving through import aliases) and returns the function name.
+func pkgFuncCall(p *Package, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isMapType reports whether the expression's type (or the type it names)
+// is a map.
+func isMapType(p *Package, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// funcDeclName renders a declaration as the Root spec syntax: "Func" for
+// plain functions, "(Recv).Func" or "(*Recv).Func" for methods.
+func funcDeclName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	star := ""
+	if s, ok := t.(*ast.StarExpr); ok {
+		t, star = s.X, "*"
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = ix.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return fd.Name.Name
+	}
+	return "(" + star + id.Name + ")." + fd.Name.Name
 }

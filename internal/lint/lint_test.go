@@ -98,7 +98,7 @@ func TestSimDeterminismIgnoresUntargetedPackages(t *testing.T) {
 func TestHotAllocFixture(t *testing.T) {
 	p := loadFixture(t, "hotallocbad")
 	// The fixture lives outside the engine package, so target it explicitly.
-	checkFixture(t, "hotallocbad", &HotAlloc{Target: p.Path, Root: "(*Engine).Step"})
+	checkFixture(t, "hotallocbad", &HotAlloc{TargetPkg: p.Path, Root: "(*Engine).Step"})
 }
 
 func TestHotAllocIgnoresUntargetedPackages(t *testing.T) {
@@ -112,7 +112,7 @@ func TestHotAllocIgnoresUntargetedPackages(t *testing.T) {
 // finding, not silently disarm the gate.
 func TestHotAllocMissingRoot(t *testing.T) {
 	p := loadFixture(t, "hotallocbad")
-	got := Run([]*Package{p}, []Pass{&HotAlloc{Target: p.Path, Root: "(*Engine).Tick"}})
+	got := Run([]*Package{p}, []Pass{&HotAlloc{TargetPkg: p.Path, Root: "(*Engine).Tick"}})
 	if len(got) != 1 || !strings.Contains(got[0].Msg, "root (*Engine).Tick not found") {
 		t.Errorf("missing root reported as %v, want one configuration finding", got)
 	}
@@ -184,8 +184,12 @@ func TestFormatVerbs(t *testing.T) {
 	}
 	for _, c := range cases {
 		vs, ok := formatVerbs(c.format)
-		if ok != c.ok || string(vs) != c.verbs {
-			t.Errorf("formatVerbs(%q) = %q, %v; want %q, %v", c.format, vs, ok, c.verbs, c.ok)
+		var got []byte
+		for _, v := range vs {
+			got = append(got, v.c)
+		}
+		if ok != c.ok || string(got) != c.verbs {
+			t.Errorf("formatVerbs(%q) = %q, %v; want %q, %v", c.format, got, ok, c.verbs, c.ok)
 		}
 	}
 }

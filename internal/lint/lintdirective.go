@@ -1,0 +1,47 @@
+package lint
+
+// LintDirective keeps the suppression mechanism honest: an //lint:allow
+// directive naming a pass that does not exist (a typo, or a pass renamed
+// out from under it) silently suppresses nothing while looking like a
+// documented exemption. Stale suppressions rot — this pass makes each one
+// a finding of its own.
+type LintDirective struct {
+	known map[string]bool
+}
+
+// NewLintDirective builds the pass over the registered pass names.
+// DefaultPasses always hands it the full registry, even when the caller
+// runs a subset, so an allow for a deselected pass is never misreported.
+func NewLintDirective(names []string) *LintDirective {
+	known := make(map[string]bool, len(names))
+	for _, n := range names {
+		known[n] = true
+	}
+	return &LintDirective{known: known}
+}
+
+// Name returns "lintdirective".
+func (*LintDirective) Name() string { return "lintdirective" }
+
+// Doc describes the pass.
+func (*LintDirective) Doc() string {
+	return "every //lint:allow directive must name registered passes"
+}
+
+// RunProgram checks every recorded directive against the registry.
+func (d *LintDirective) RunProgram(prog *Program) []Finding {
+	var out []Finding
+	for _, p := range prog.Pkgs {
+		for _, dir := range p.directives {
+			if d.known[dir.pass] {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:  dir.pos,
+				Pass: d.Name(),
+				Msg:  "unknown pass \"" + dir.pass + "\" in //lint:allow directive; it suppresses nothing (run wormlint -list for the registry)",
+			})
+		}
+	}
+	return out
+}

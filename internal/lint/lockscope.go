@@ -1,0 +1,548 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockScope enforces the repo's mutex discipline: a sync.Mutex (or RWMutex)
+// critical section must stay short, non-blocking and balanced. While a lock
+// is held the pass forbids
+//
+//   - channel sends and receives, `for range ch`, and select statements
+//     without a default (all can block indefinitely; the observatory's
+//     broadcast uses select-with-default precisely so a slow subscriber can
+//     never stall a publication — that pattern is allowed);
+//   - invoking a function value (a hook field, parameter or local): code
+//     the holder cannot see may block, re-enter the lock, or call back into
+//     the engine — read hooks and clocks before locking, call them after
+//     unlocking;
+//   - calling any function that (transitively, over the static call graph)
+//     performs a blocking operation or acquires a lock itself — computed
+//     with the shared bottom-up dataflow driver;
+//
+// and it requires pairing: a function that calls x.Lock() must also unlock
+// x (plainly or via defer, including defer func() { x.Unlock() }()), and no
+// return may execute while x is still held without defer coverage.
+// sync.Cond is exempt (Wait atomically releases the mutex; that is the
+// scheduler's idle-park pattern). Held-state tracking is branch-local and
+// conservative: effects of a conditional body do not escape it.
+//
+// Intentional long-held sections are annotated with //lint:allow lockscope
+// and a reason.
+type LockScope struct{}
+
+// NewLockScope returns the pass.
+func NewLockScope() *LockScope { return &LockScope{} }
+
+// Name returns "lockscope".
+func (*LockScope) Name() string { return "lockscope" }
+
+// Doc describes the pass.
+func (*LockScope) Doc() string {
+	return "forbid blocking operations and hook invocation under a mutex; require lock/unlock pairing"
+}
+
+// RunProgram computes program-wide may-block facts, then walks every
+// function's critical sections.
+func (l *LockScope) RunProgram(prog *Program) []Finding {
+	graph := prog.Graph()
+	gen := make(map[*types.Func]bool)
+	for fn, fd := range prog.decls { //lint:allow simdeterminism (building the gen set; order-free)
+		if fd.Body == nil {
+			continue
+		}
+		p := prog.declPkg[fn]
+		if bodyMayBlock(p, fd.Body) {
+			gen[fn] = true
+		}
+	}
+	mayBlock := graph.PropagateUp(gen)
+
+	var out []Finding
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				out = append(out, l.checkScopes(prog, p, fd.Body, mayBlock)...)
+			}
+		}
+	}
+	return out
+}
+
+// bodyMayBlock reports whether a body directly performs a blocking
+// operation or acquires a lock. Channel operations that are comm clauses of
+// a select WITH a default are non-blocking and do not count; a select
+// without default does. Nested function literals count conservatively (they
+// run when the enclosing function invokes them).
+func bodyMayBlock(p *Package, body *ast.BlockStmt) bool {
+	blocking := false
+	// Comm statements of selects carrying a default: channel ops positioned
+	// inside them are non-blocking. ast.Inspect visits a select before its
+	// children, so the list is populated in time.
+	var nonBlockingComms []ast.Stmt
+	inNonBlockingComm := func(pos token.Pos) bool {
+		for _, s := range nonBlockingComms {
+			if pos >= s.Pos() && pos <= s.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if blocking {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				blocking = true
+				return false
+			}
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					nonBlockingComms = append(nonBlockingComms, cc.Comm)
+				}
+			}
+		case *ast.SendStmt:
+			if !inNonBlockingComm(n.Pos()) {
+				blocking = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inNonBlockingComm(n.Pos()) {
+				blocking = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					blocking = true
+				}
+			}
+		case *ast.CallExpr:
+			if kind := lockCallKind(p, n); kind == lockAcquire || kind == blockingCall {
+				blocking = true
+			}
+		}
+		return true
+	})
+	return blocking
+}
+
+type lockKind int
+
+const (
+	notLockRelated lockKind = iota
+	lockAcquire             // x.Lock() / x.RLock()
+	lockRelease             // x.Unlock() / x.RUnlock()
+	condExempt              // sync.Cond methods (Wait releases the mutex)
+	blockingCall            // a known-blocking stdlib call
+)
+
+// lockCallKind classifies a call: mutex acquire/release (receiver
+// expression returned via lockRecv), sync.Cond use, or a known-blocking
+// stdlib call ((*sync.WaitGroup).Wait, time.Sleep).
+func lockCallKind(p *Package, call *ast.CallExpr) lockKind {
+	if name, ok := pkgFuncCall(p, call, "time"); ok && name == "Sleep" {
+		return blockingCall
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return notLockRelated
+	}
+	recvT := p.Info.TypeOf(sel.X)
+	if recvT == nil {
+		return notLockRelated
+	}
+	name := namedSyncType(recvT)
+	switch name {
+	case "Mutex", "RWMutex":
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			return lockAcquire
+		case "Unlock", "RUnlock":
+			return lockRelease
+		}
+	case "Cond":
+		return condExempt
+	case "WaitGroup":
+		if sel.Sel.Name == "Wait" {
+			return blockingCall
+		}
+	}
+	return notLockRelated
+}
+
+// namedSyncType returns the sync package type name behind t (through one
+// pointer), or "".
+func namedSyncType(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "sync" {
+		return obj.Name()
+	}
+	return ""
+}
+
+// lockRecv renders the mutex receiver expression of a Lock/Unlock call as
+// its identity key ("s.mu").
+func lockRecv(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return types.ExprString(sel.X)
+}
+
+// scope is the held-lock state while walking one function body.
+type scope struct {
+	held map[string]bool // mutex key → currently held
+	// deferred marks mutexes released by a defer: held for blocking checks
+	// but satisfied for pairing.
+	deferred map[string]bool
+	// unlocked records every mutex key this function ever unlocks (plain or
+	// deferred), for the "never unlocked" check.
+	unlocked map[string]bool
+	// lockPos remembers the finding anchor for each held mutex.
+	lockPos map[string]ast.Node
+}
+
+func newScope() *scope {
+	return &scope{
+		held:     make(map[string]bool),
+		deferred: make(map[string]bool),
+		unlocked: make(map[string]bool),
+		lockPos:  make(map[string]ast.Node),
+	}
+}
+
+// clone snapshots held state for branch-local tracking.
+func (sc *scope) clone() *scope {
+	c := newScope()
+	for k, v := range sc.held { //lint:allow simdeterminism (set copy; order-free)
+		c.held[k] = v
+	}
+	for k, v := range sc.deferred { //lint:allow simdeterminism (set copy; order-free)
+		c.deferred[k] = v
+	}
+	c.unlocked = sc.unlocked       // shared accumulator
+	for k, v := range sc.lockPos { //lint:allow simdeterminism (set copy; order-free)
+		c.lockPos[k] = v
+	}
+	return c
+}
+
+// heldKeys lists the held mutexes sorted for deterministic messages.
+func (sc *scope) heldKeys() []string {
+	var keys []string
+	for k, v := range sc.held { //lint:allow simdeterminism (sorted below)
+		if v {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) > 1 {
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+	}
+	return keys
+}
+
+// checkScopes walks one function body (and, as independent scopes, every
+// nested function literal) enforcing the critical-section rules.
+func (l *LockScope) checkScopes(prog *Program, p *Package, body *ast.BlockStmt, mayBlock map[*types.Func]bool) []Finding {
+	var out []Finding
+	sc := newScope()
+	out = append(out, l.walkStmts(prog, p, body.List, sc, mayBlock)...)
+	for key, held := range sc.held {
+		if held && !sc.unlocked[key] {
+			out = append(out, p.finding(l.Name(), sc.lockPos[key],
+				"%s.Lock() is never paired with an unlock in this function; add %s.Unlock() or defer it", key, key))
+		}
+	}
+	// Nested literals are their own scopes: a closure runs later, without
+	// the creator's locks.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, l.checkScopes(prog, p, lit.Body, mayBlock)...)
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// walkStmts processes a statement list, updating held state and flagging
+// violations. Branch bodies run on a clone: their lock effects do not
+// escape (conservative — matches the repo's lock-per-call-shape style).
+func (l *LockScope) walkStmts(prog *Program, p *Package, stmts []ast.Stmt, sc *scope, mayBlock map[*types.Func]bool) []Finding {
+	var out []Finding
+	for _, s := range stmts {
+		out = append(out, l.walkStmt(prog, p, s, sc, mayBlock)...)
+	}
+	return out
+}
+
+func (l *LockScope) walkStmt(prog *Program, p *Package, s ast.Stmt, sc *scope, mayBlock map[*types.Func]bool) []Finding {
+	var out []Finding
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			switch lockCallKind(p, call) {
+			case lockAcquire:
+				key := lockRecv(call)
+				sc.held[key] = true
+				sc.lockPos[key] = call
+				return out
+			case lockRelease:
+				key := lockRecv(call)
+				sc.held[key] = false
+				sc.unlocked[key] = true
+				return out
+			}
+		}
+		out = append(out, l.checkExpr(prog, p, s.X, sc, mayBlock)...)
+	case *ast.DeferStmt:
+		if kind := lockCallKind(p, s.Call); kind == lockRelease {
+			key := lockRecv(s.Call)
+			sc.deferred[key] = true
+			sc.unlocked[key] = true
+			return out
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// defer func() { ...; x.Unlock() }() counts as defer coverage.
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if ok && lockCallKind(p, call) == lockRelease {
+					key := lockRecv(call)
+					sc.deferred[key] = true
+					sc.unlocked[key] = true
+				}
+				return true
+			})
+		}
+	case *ast.SendStmt:
+		out = append(out, l.flagIfHeld(p, s, sc, "channel send")...)
+		out = append(out, l.checkExpr(prog, p, s.Value, sc, mayBlock)...)
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold our locks; only evaluate the
+		// call's arguments here.
+		for _, arg := range s.Call.Args {
+			out = append(out, l.checkExpr(prog, p, arg, sc, mayBlock)...)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			out = append(out, l.checkExpr(prog, p, e, sc, mayBlock)...)
+		}
+		for _, e := range s.Lhs {
+			out = append(out, l.checkExpr(prog, p, e, sc, mayBlock)...)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			out = append(out, l.checkExpr(prog, p, e, sc, mayBlock)...)
+		}
+		for _, key := range sc.heldKeys() {
+			if !sc.deferred[key] {
+				out = append(out, p.finding(l.Name(), s,
+					"return while %s is still locked on this path; unlock before returning or use defer", key))
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			out = append(out, l.walkStmt(prog, p, s.Init, sc, mayBlock)...)
+		}
+		out = append(out, l.checkExpr(prog, p, s.Cond, sc, mayBlock)...)
+		out = append(out, l.walkStmts(prog, p, s.Body.List, sc.clone(), mayBlock)...)
+		if s.Else != nil {
+			out = append(out, l.walkStmt(prog, p, s.Else, sc.clone(), mayBlock)...)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			out = append(out, l.walkStmt(prog, p, s.Init, sc, mayBlock)...)
+		}
+		if s.Cond != nil {
+			out = append(out, l.checkExpr(prog, p, s.Cond, sc, mayBlock)...)
+		}
+		out = append(out, l.walkStmts(prog, p, s.Body.List, sc.clone(), mayBlock)...)
+	case *ast.RangeStmt:
+		if t := p.Info.TypeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				out = append(out, l.flagIfHeld(p, s, sc, "range over channel")...)
+			}
+		}
+		out = append(out, l.checkExpr(prog, p, s.X, sc, mayBlock)...)
+		out = append(out, l.walkStmts(prog, p, s.Body.List, sc.clone(), mayBlock)...)
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			out = append(out, l.flagIfHeld(p, s, sc, "select without default")...)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				out = append(out, l.walkStmts(prog, p, cc.Body, sc.clone(), mayBlock)...)
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			out = append(out, l.walkStmt(prog, p, s.Init, sc, mayBlock)...)
+		}
+		if s.Tag != nil {
+			out = append(out, l.checkExpr(prog, p, s.Tag, sc, mayBlock)...)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				out = append(out, l.walkStmts(prog, p, cc.Body, sc.clone(), mayBlock)...)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				out = append(out, l.walkStmts(prog, p, cc.Body, sc.clone(), mayBlock)...)
+			}
+		}
+	case *ast.BlockStmt:
+		out = append(out, l.walkStmts(prog, p, s.List, sc, mayBlock)...)
+	case *ast.LabeledStmt:
+		out = append(out, l.walkStmt(prog, p, s.Stmt, sc, mayBlock)...)
+	case *ast.IncDecStmt:
+		out = append(out, l.checkExpr(prog, p, s.X, sc, mayBlock)...)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						out = append(out, l.checkExpr(prog, p, v, sc, mayBlock)...)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkExpr flags blocking constructs inside one expression while locks are
+// held: receive operators, function-value invocations, and calls to
+// may-block functions. Function literals are skipped (separate scopes).
+func (l *LockScope) checkExpr(prog *Program, p *Package, e ast.Expr, sc *scope, mayBlock map[*types.Func]bool) []Finding {
+	var out []Finding
+	if e == nil || len(sc.heldKeys()) == 0 {
+		return out
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				out = append(out, l.flagIfHeld(p, n, sc, "channel receive")...)
+			}
+		case *ast.CallExpr:
+			out = append(out, l.checkCall(prog, p, n, sc, mayBlock)...)
+		}
+		return true
+	})
+	return out
+}
+
+// checkCall classifies one call made while locks are held.
+func (l *LockScope) checkCall(prog *Program, p *Package, call *ast.CallExpr, sc *scope, mayBlock map[*types.Func]bool) []Finding {
+	switch lockCallKind(p, call) {
+	case condExempt:
+		return nil // sync.Cond.Wait releases the mutex: the park pattern
+	case blockingCall:
+		return l.flagIfHeld(p, call, sc, "blocking call "+types.ExprString(call.Fun))
+	case lockAcquire, lockRelease:
+		return nil // handled statement-wise; expression-position lock ops are not idiomatic here
+	}
+	// Static callee: consult the program-wide may-block facts.
+	if fn := staticCallee(p, call); fn != nil {
+		if mayBlock[fn] {
+			return l.flagIfHeld(p, call, sc,
+				"call to "+prog.funcDisplayName(fn, p)+", which may block or acquire a lock")
+		}
+		return nil
+	}
+	// Conversions and builtins are not invocations.
+	if isConversionOrBuiltin(p, call) {
+		return nil
+	}
+	// A call through a function value: a hook. The holder cannot know what
+	// it does.
+	if t := p.Info.TypeOf(call.Fun); t != nil {
+		if _, ok := t.Underlying().(*types.Signature); ok {
+			return l.flagIfHeld(p, call, sc,
+				"invoking function value "+types.ExprString(call.Fun)+" (hook)")
+		}
+	}
+	return nil
+}
+
+// staticCallee resolves a call to its named function or method (interface
+// methods resolve to the abstract method, which has no facts — interface
+// calls under locks are judged by their devirtualized implementations'
+// facts only through the graph, so here they return nil and are treated as
+// method calls, not hooks).
+func staticCallee(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isConversionOrBuiltin reports whether call is a type conversion or a
+// builtin like len/append/close.
+func isConversionOrBuiltin(p *Package, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch p.Info.Uses[fun].(type) {
+		case *types.Builtin, *types.TypeName:
+			return true
+		}
+	case *ast.SelectorExpr:
+		if _, ok := p.Info.Uses[fun.Sel].(*types.TypeName); ok {
+			return true
+		}
+	case *ast.ArrayType, *ast.MapType, *ast.FuncType, *ast.InterfaceType, *ast.StarExpr:
+		return true
+	}
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	return false
+}
+
+// flagIfHeld emits one finding per held mutex for a blocking construct.
+func (l *LockScope) flagIfHeld(p *Package, n ast.Node, sc *scope, what string) []Finding {
+	var out []Finding
+	for _, key := range sc.heldKeys() {
+		out = append(out, p.finding(l.Name(), n,
+			"%s while %s is held; move it outside the critical section", what, key))
+	}
+	return out
+}
+
+// selectHasDefault reports whether a select statement has a default clause.
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

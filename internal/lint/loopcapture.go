@@ -68,8 +68,17 @@ func (LoopCapture) Run(p *Package) []Finding {
 				switch {
 				case !declInLoop && assignedIn(p, loop, obj, lit):
 					reported[obj] = true
-					out = append(out, p.finding(LoopCapture{}.Name(), id,
-						"%s closure captures %q, which the enclosing loop reassigns; pass it as an argument", verb, obj.Name()))
+					f := p.finding(LoopCapture{}.Name(), id,
+						"%s closure captures %q, which the enclosing loop reassigns; pass it as an argument", verb, obj.Name())
+					f.Fix = &Fix{
+						Message: "rebind " + obj.Name() + " before the " + verb + " statement",
+						Edits: []TextEdit{{
+							Pos:     n.Pos(),
+							End:     n.Pos(),
+							NewText: obj.Name() + " := " + obj.Name() + "\n" + indentAt(p.Fset, n.Pos()),
+						}},
+					}
+					out = append(out, f)
 				case verb == "defer" && isLoopVar(p, loop, obj):
 					reported[obj] = true
 					out = append(out, p.finding(LoopCapture{}.Name(), id,

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Program is the whole loaded module as one analysis unit: every package the
+// caller passed to Run, an index from function objects to their
+// declarations, a merged //lint:allow index, and (built on demand) the
+// cross-package call graph program passes share.
+type Program struct {
+	// Pkgs holds the loaded packages sorted by import path.
+	Pkgs []*Package
+
+	decls   map[*types.Func]*ast.FuncDecl
+	declPkg map[*types.Func]*Package
+	byPath  map[string]*Package
+	allow   map[allowKey]bool
+
+	graph *CallGraph
+}
+
+// NewProgram indexes the packages into one analysis unit.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Pkgs:    pkgs,
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+		declPkg: make(map[*types.Func]*Package),
+		byPath:  make(map[string]*Package, len(pkgs)),
+		allow:   make(map[allowKey]bool),
+	}
+	for _, p := range pkgs {
+		prog.byPath[p.Path] = p
+		for k, v := range p.allow { //lint:allow simdeterminism (merging an index; order-free)
+			if v {
+				prog.allow[k] = true
+			}
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					prog.decls[obj] = fd
+					prog.declPkg[obj] = p
+				}
+			}
+		}
+	}
+	return prog
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (prog *Program) Package(path string) *Package { return prog.byPath[path] }
+
+// Allowed reports whether any loaded package carries an //lint:allow
+// directive suppressing pass findings at pos.
+func (prog *Program) Allowed(pass string, pos token.Position) bool {
+	return prog.allow[allowKey{file: pos.Filename, line: pos.Line, pass: pass}]
+}
+
+// Decl returns fn's declaration and owning package, or (nil, nil) for
+// functions without a loaded body (stdlib, interface methods).
+func (prog *Program) Decl(fn *types.Func) (*ast.FuncDecl, *Package) {
+	return prog.decls[fn], prog.declPkg[fn]
+}
+
+// FindFunc resolves a "Func" / "(Recv).Func" / "(*Recv).Func" spec inside
+// the package with the given import path, or nil.
+func (prog *Program) FindFunc(pkgPath, spec string) *types.Func {
+	p := prog.byPath[pkgPath]
+	if p == nil {
+		return nil
+	}
+	for fn, fd := range prog.decls { //lint:allow simdeterminism (first exact match; unique key)
+		if prog.declPkg[fn] == p && funcDeclName(fd) == spec {
+			return fn
+		}
+	}
+	return nil
+}
+
+// Graph returns the program's call graph, building it on first use so
+// package-only pass runs never pay for it. The graph is cached: CI's lint
+// job and the certification gate share one type-checked load and one graph.
+func (prog *Program) Graph() *CallGraph {
+	if prog.graph == nil {
+		prog.graph = buildCallGraph(prog)
+	}
+	return prog.graph
+}
+
+// funcDisplayName renders fn for diagnostics: "pkg.Func" or
+// "pkg.(*Recv).Func", with the package elided for the anchor package.
+func (prog *Program) funcDisplayName(fn *types.Func, anchor *Package) string {
+	fd, p := prog.Decl(fn)
+	name := fn.Name()
+	if fd != nil {
+		name = funcDeclName(fd)
+	}
+	if p == nil || p == anchor {
+		return name
+	}
+	return p.Types.Name() + "." + name
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output, the subset GitHub code scanning consumes: one run, one
+// driver, a rule per pass, a result per finding. The shape is pinned by a
+// golden test so the uploaded schema cannot drift silently.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log. File paths are made
+// relative to root with forward slashes (the repository-relative URIs code
+// scanning expects); findings arrive sorted from Run, so output is
+// deterministic.
+func WriteSARIF(w io.Writer, findings []Finding, passes []Pass, root string) error {
+	rules := make([]sarifRule, 0, len(passes))
+	for _, p := range passes {
+		rules = append(rules, sarifRule{
+			ID:               p.Name(),
+			ShortDescription: sarifMessage{Text: p.Doc()},
+		})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		uri := f.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
+				uri = rel
+			}
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Pass,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(uri)},
+					Region:           sarifRegion{StartLine: f.Pos.Line},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "wormlint",
+				InformationURI: "https://github.com/wormsim/wormsim",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&log)
+}

@@ -9,43 +9,60 @@ import (
 // SimDeterminism enforces the paper's reproducibility methodology on the
 // simulation core: every run must be a pure function of its configuration
 // and seeds (Boppana & Chalasani re-seed independent streams per sampling
-// period, and the sweep/figure pipelines assume bit-identical reruns). In
-// the target packages the pass forbids
+// period, and the sweep/figure pipelines assume bit-identical reruns). The
+// pass forbids
 //
 //   - importing math/rand or math/rand/v2 (use wormsim/internal/rng, whose
 //     PCG streams are seeded, splittable and reproducible),
 //   - calling time.Now, time.Since or time.Until (wall-clock reads; inject
 //     a clock like telemetry.Progress does when one is genuinely needed),
 //   - ranging over a map (iteration order is randomized per run; iterate a
-//     sorted key slice instead).
+//     sorted key slice instead),
+//
+// in two scopes: everywhere inside the target packages (the declared
+// simulation core), and — via the program call graph — inside any function
+// in any package reachable from the engine's cycle entry point, including
+// through devirtualized interface calls. A helper in an untargeted package
+// becomes part of the determinism contract the moment the engine can reach
+// it.
 //
 // Intentional uses — order-independent reductions over maps, telemetry
 // wall-clock reads behind an injected clock — are annotated in place with
 // //lint:allow simdeterminism and a reason.
 type SimDeterminism struct {
-	// Targets are the import paths the pass applies to; a path matches
-	// exactly. Packages outside the simulation core (CLIs, rng itself,
-	// telemetry) are free to use the clock.
+	// Targets are the import paths the pass applies to in full; a path
+	// matches exactly. Packages outside the simulation core (CLIs, rng
+	// itself, telemetry) are free to use the clock except where the engine
+	// reaches them.
 	Targets []string
+	// RootPkg/Root name the engine entry point for the reachability scope;
+	// empty disables it (single-package fixture runs).
+	RootPkg string
+	Root    string
 }
 
 // NewSimDeterminism targets the simulation-core packages named in the
-// determinism contract: everything that runs between a Config and a Result.
+// determinism contract — everything that runs between a Config and a Result
+// — and roots the reachability scope at the engine's cycle entry point.
 func NewSimDeterminism() *SimDeterminism {
-	return &SimDeterminism{Targets: []string{
-		"wormsim/internal/network",
-		"wormsim/internal/routing",
-		"wormsim/internal/topology",
-		"wormsim/internal/traffic",
-		"wormsim/internal/congestion",
-		"wormsim/internal/core",
-		"wormsim/internal/message",
-		"wormsim/internal/cdg",
-		// telemetry feeds golden-trace tests, so it is held to the same
-		// standard; its one deliberate wall-clock read (the Progress ETA,
-		// behind an injectable clock) is annotated in place.
-		"wormsim/internal/telemetry",
-	}}
+	return &SimDeterminism{
+		Targets: []string{
+			"wormsim/internal/network",
+			"wormsim/internal/routing",
+			"wormsim/internal/topology",
+			"wormsim/internal/traffic",
+			"wormsim/internal/congestion",
+			"wormsim/internal/core",
+			"wormsim/internal/message",
+			"wormsim/internal/cdg",
+			// telemetry feeds golden-trace tests, so it is held to the same
+			// standard; its one deliberate wall-clock read (the Progress ETA,
+			// behind an injectable clock) is annotated in place.
+			"wormsim/internal/telemetry",
+		},
+		RootPkg: "wormsim/internal/network",
+		Root:    "(*Network).Step",
+	}
 }
 
 // Name returns "simdeterminism".
@@ -53,14 +70,53 @@ func (*SimDeterminism) Name() string { return "simdeterminism" }
 
 // Doc describes the pass.
 func (*SimDeterminism) Doc() string {
-	return "forbid math/rand, wall-clock reads and map iteration in the simulation core"
+	return "forbid math/rand, wall-clock reads and map iteration in the simulation core and everything the engine reaches"
 }
 
-// Run reports determinism violations in targeted packages.
-func (s *SimDeterminism) Run(p *Package) []Finding {
-	if !s.targets(p.Path) {
-		return nil
+// RunProgram reports determinism violations in targeted packages and in
+// functions reachable from the engine entry point.
+func (s *SimDeterminism) RunProgram(prog *Program) []Finding {
+	var out []Finding
+	for _, p := range prog.Pkgs {
+		if s.targets(p.Path) {
+			out = append(out, s.checkPackage(p)...)
+		}
 	}
+
+	if s.RootPkg == "" || prog.Package(s.RootPkg) == nil {
+		return out
+	}
+	root := prog.FindFunc(s.RootPkg, s.Root)
+	if root == nil {
+		target := prog.Package(s.RootPkg)
+		return append(out, target.finding(s.Name(), target.Files[0],
+			"determinism root %s not found in %s; update the pass configuration", s.Root, s.RootPkg))
+	}
+	reach := prog.Graph().ReachableFrom(root)
+	for _, p := range prog.Pkgs {
+		if s.targets(p.Path) {
+			continue // already checked in full above
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok || !reach.Set[fn] {
+					continue
+				}
+				chain := reach.Chain(fn, p)
+				out = append(out, s.checkBody(p, fd.Body, " (reachable via "+chain+")")...)
+			}
+		}
+	}
+	return out
+}
+
+// checkPackage applies the full-package scope: imports plus every body.
+func (s *SimDeterminism) checkPackage(p *Package) []Finding {
 	var out []Finding
 	for _, f := range p.Files {
 		for _, imp := range f.Imports {
@@ -73,29 +129,45 @@ func (s *SimDeterminism) Run(p *Package) []Finding {
 					"import %s is nondeterministic across runs; use wormsim/internal/rng streams", path))
 			}
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				if name, ok := pkgFuncCall(p, n, "time"); ok {
-					switch name {
-					case "Now", "Since", "Until":
-						out = append(out, p.finding(s.Name(), n,
-							"time.%s reads the wall clock; inject a clock or //lint:allow simdeterminism with a reason", name))
-					}
-				}
-			case *ast.RangeStmt:
-				t := p.Info.TypeOf(n.X)
-				if t == nil {
-					return true
-				}
-				if _, isMap := t.Underlying().(*types.Map); isMap {
+		out = append(out, s.checkBody(p, f, "")...)
+	}
+	return out
+}
+
+// checkBody flags wall-clock reads, map iteration and math/rand calls in
+// one subtree; ctx annotates reachability-scope findings with the witness
+// call chain.
+func (s *SimDeterminism) checkBody(p *Package, root ast.Node, ctx string) []Finding {
+	var out []Finding
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := pkgFuncCall(p, n, "time"); ok {
+				switch name {
+				case "Now", "Since", "Until":
 					out = append(out, p.finding(s.Name(), n,
-						"iteration over map %s has randomized order; iterate sorted keys or //lint:allow simdeterminism with a reason", t.String()))
+						"time.%s reads the wall clock%s; inject a clock or //lint:allow simdeterminism with a reason", name, ctx))
 				}
 			}
-			return true
-		})
-	}
+			if name, ok := pkgFuncCall(p, n, "math/rand"); ok {
+				out = append(out, p.finding(s.Name(), n,
+					"math/rand.%s is nondeterministic across runs%s; use wormsim/internal/rng streams", name, ctx))
+			} else if name, ok := pkgFuncCall(p, n, "math/rand/v2"); ok {
+				out = append(out, p.finding(s.Name(), n,
+					"math/rand/v2.%s is nondeterministic across runs%s; use wormsim/internal/rng streams", name, ctx))
+			}
+		case *ast.RangeStmt:
+			t := p.Info.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				out = append(out, p.finding(s.Name(), n,
+					"iteration over map %s has randomized order%s; iterate sorted keys or //lint:allow simdeterminism with a reason", t.String(), ctx))
+			}
+		}
+		return true
+	})
 	return out
 }
 
@@ -106,22 +178,4 @@ func (s *SimDeterminism) targets(path string) bool {
 		}
 	}
 	return false
-}
-
-// pkgFuncCall reports whether call is pkg.Func on the package named pkgPath
-// (resolving through import aliases) and returns the function name.
-func pkgFuncCall(p *Package, call *ast.CallExpr, pkgPath string) (string, bool) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", false
-	}
-	id, ok := sel.X.(*ast.Ident)
-	if !ok {
-		return "", false
-	}
-	pn, ok := p.Info.Uses[id].(*types.PkgName)
-	if !ok || pn.Imported().Path() != pkgPath {
-		return "", false
-	}
-	return sel.Sel.Name, true
 }

@@ -1,0 +1,59 @@
+// Package atomicbad is a wormlint test fixture for the atomicdiscipline
+// pass: fields touched via sync/atomic must never be accessed plainly, and
+// typed atomics must never be used as plain values. Lines the pass should
+// report carry a "// WANT atomicdiscipline" marker.
+package atomicbad
+
+import "sync/atomic"
+
+// Stats mixes a plain counter driven through sync/atomic with a typed
+// atomic.
+type Stats struct {
+	hits  int64
+	flags atomic.Int64
+}
+
+// total is a package-level counter driven through sync/atomic.
+var total int64
+
+// slots is an array of typed atomics: indexing into it is fine, copying an
+// element out is not.
+var slots [4]atomic.Int64
+
+// Inc is the disciplined writer that puts hits under the atomic regime.
+func (s *Stats) Inc() {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.AddInt64(&total, 1)
+}
+
+// Bad reads and writes hits plainly even though Inc uses sync/atomic.
+func (s *Stats) Bad() int64 {
+	s.hits++      // WANT atomicdiscipline
+	return s.hits // WANT atomicdiscipline
+}
+
+// BadGlobal increments the package counter plainly.
+func BadGlobal() {
+	total++ // WANT atomicdiscipline
+}
+
+// Peek is the annotated, intentional variant.
+func (s *Stats) Peek() int64 {
+	return s.hits //lint:allow atomicdiscipline (stats-only racy fast path, documented)
+}
+
+// Copy duplicates a typed atomic as a plain value.
+func (s *Stats) Copy() atomic.Int64 {
+	return s.flags // WANT atomicdiscipline
+}
+
+// Snapshot copies a typed atomic out of the array.
+func Snapshot() atomic.Int64 {
+	return slots[0] // WANT atomicdiscipline
+}
+
+// Good stays inside the regime: sync/atomic calls and typed-atomic methods.
+func (s *Stats) Good() int64 {
+	slots[1].Add(1)
+	return atomic.LoadInt64(&s.hits) + s.flags.Load() + slots[0].Load()
+}

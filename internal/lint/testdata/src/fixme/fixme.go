@@ -1,0 +1,34 @@
+// Package fixme is the -fix input fixture: every finding here carries a
+// suggested fix. The fixmefixed fixture is the byte-exact golden output of
+// applying them.
+package fixme
+
+import (
+	"fmt"
+
+	"wormsim/internal/telemetry"
+)
+
+// Sink absorbs values so the fixture has no unused results.
+var Sink any
+
+// Wrap flattens an error operand with %v.
+func Wrap(err error) error {
+	return fmt.Errorf("load config: %v", err)
+}
+
+// Capture launches goroutines capturing a loop-reassigned variable.
+func Capture(items []int) {
+	var cur int
+	for _, it := range items {
+		cur = it
+		go func() {
+			Sink = cur
+		}()
+	}
+}
+
+// Observe calls a telemetry hook without a nil guard.
+func Observe(c *telemetry.Collector) {
+	c.InjDequeue()
+}

@@ -1,0 +1,75 @@
+// Package hookescapebad is a wormlint test fixture for the hookescape pass:
+// arguments handed to hook (function-value) calls must not carry references
+// into engine-owned state. Lines the pass should report carry a
+// "// WANT hookescape" marker.
+package hookescapebad
+
+// Event is a scalar-only payload: safe to hand out by value.
+type Event struct {
+	Cycle int
+	Total int
+}
+
+// Frame embeds a reference: handing it out shares engine memory.
+type Frame struct {
+	Buf []int
+}
+
+// Msg mimics the pooled message.
+type Msg struct {
+	ID int
+}
+
+// Trace is a package-level hook with package-level state behind it.
+var Trace func([]int)
+
+// state is engine-owned package state.
+var state []int
+
+// Engine owns a buffer and the current message; hooks hang off fields.
+type Engine struct {
+	buf    []int
+	cur    *Msg
+	count  int
+	OnTick func(any)
+	OnMsg  func(*Msg)
+}
+
+// Tick exercises the escape rules at each hook call site.
+func (e *Engine) Tick() {
+	e.OnTick(e.buf) // WANT hookescape
+	e.OnMsg(e.cur)  // WANT hookescape
+
+	frame := Frame{Buf: e.buf}
+	e.OnTick(frame) // WANT hookescape
+
+	// A scalar field, a scalar composite, a call result and a copied slice
+	// are all safe.
+	e.OnTick(e.count)
+	e.OnTick(Event{Cycle: e.count, Total: len(e.buf)})
+	e.OnTick(e.snapshot())
+	cp := append([]int(nil), e.buf...)
+	e.OnTick(cp)
+
+	// A by-value copy of the pooled message is safe too.
+	m := *e.cur
+	e.OnMsg(&m)
+
+	// The annotated, intentional borrow.
+	e.OnMsg(e.cur) //lint:allow hookescape (documented borrow, valid only during the callback)
+}
+
+// Fire leaks package-level state through a package-level hook.
+func Fire() {
+	Trace(state) // WANT hookescape
+}
+
+// Relay passes a parameter through: the caller owns it, not the engine.
+func Relay(xs []int) {
+	Trace(xs)
+}
+
+// snapshot returns a fresh copy by contract.
+func (e *Engine) snapshot() []int {
+	return append([]int(nil), e.buf...)
+}

@@ -1,0 +1,121 @@
+// Package lockbad is a wormlint test fixture for the lockscope pass:
+// blocking operations and hook invocations inside critical sections, and
+// broken lock/unlock pairing. Lines the pass should report carry a
+// "// WANT lockscope" marker.
+package lockbad
+
+import (
+	"sync"
+	"time"
+)
+
+// Q mimics the scheduler/publisher shape: a mutex guarding state next to a
+// channel and a hook field.
+type Q struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ch   chan int
+	fn   func(int)
+}
+
+// SendHeld blocks on a channel send inside the critical section.
+func (q *Q) SendHeld() {
+	q.mu.Lock()
+	q.ch <- 1 // WANT lockscope
+	q.mu.Unlock()
+}
+
+// RecvHeld blocks on a channel receive inside the critical section.
+func (q *Q) RecvHeld() {
+	q.mu.Lock()
+	<-q.ch // WANT lockscope
+	q.mu.Unlock()
+}
+
+// HookHeld invokes a function value the holder cannot see into.
+func (q *Q) HookHeld() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.fn(1) // WANT lockscope
+}
+
+// SleepHeld parks the critical section on the wall clock.
+func (q *Q) SleepHeld() {
+	q.mu.Lock()
+	time.Sleep(time.Millisecond) // WANT lockscope
+	q.mu.Unlock()
+}
+
+// SelectHeld selects without a default: it can block indefinitely.
+func (q *Q) SelectHeld() {
+	q.mu.Lock()
+	select { // WANT lockscope
+	case q.ch <- 1:
+	case <-q.ch:
+	}
+	q.mu.Unlock()
+}
+
+// waitForWork blocks; Indirect reaches it while holding the lock, which the
+// bottom-up may-block facts must catch.
+func (q *Q) waitForWork() {
+	<-q.ch
+}
+
+// Indirect hides the blocking operation one call deep.
+func (q *Q) Indirect() {
+	q.mu.Lock()
+	q.waitForWork() // WANT lockscope
+	q.mu.Unlock()
+}
+
+// ForgotUnlock acquires and never releases.
+func (q *Q) ForgotUnlock() {
+	q.mu.Lock() // WANT lockscope
+	q.ch = nil
+}
+
+// ReturnHeld leaks the lock on the early-return path.
+func (q *Q) ReturnHeld(b bool) bool {
+	q.mu.Lock()
+	if b {
+		return true // WANT lockscope
+	}
+	q.mu.Unlock()
+	return false
+}
+
+// TryBroadcast is the observatory pattern: select with a default is
+// non-blocking and legal under the lock.
+func (q *Q) TryBroadcast() {
+	q.mu.Lock()
+	select {
+	case q.ch <- 1:
+	default:
+	}
+	q.mu.Unlock()
+}
+
+// Park is the scheduler's idle pattern: sync.Cond is exempt because Wait
+// atomically releases the mutex.
+func (q *Q) Park() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.cond.Wait()
+}
+
+// DeferredFunc releases through a deferred literal: pairing is satisfied.
+func (q *Q) DeferredFunc() {
+	q.mu.Lock()
+	defer func() {
+		q.mu.Unlock()
+	}()
+	q.ch = nil
+}
+
+// Allowed is the annotated, intentional variant.
+func (q *Q) Allowed() {
+	q.mu.Lock()
+	q.fn(2) //lint:allow lockscope (handoff under lock is intentional here)
+	q.mu.Unlock()
+}

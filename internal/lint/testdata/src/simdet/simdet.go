@@ -12,8 +12,9 @@ import (
 // Tick absorbs values so the fixture has no unused results.
 var Tick int64
 
-// Draw uses the forbidden global generator.
-func Draw() int { return rand.Intn(6) }
+// Draw uses the forbidden global generator: the import is flagged and
+// so is the call site.
+func Draw() int { return rand.Intn(6) } // WANT simdeterminism
 
 // Stamp reads the wall clock twice.
 func Stamp() {

@@ -1,0 +1,43 @@
+// Package dep holds the violations the xleak fixture's engine reaches
+// across the package boundary. Lines the hotalloc and simdeterminism passes
+// must report (with the xleak root configured) carry WANT markers.
+package dep
+
+import "time"
+
+// Sink absorbs values so the fixture has no unused results.
+var Sink any
+
+// Mix is reached from xleak.(*Engine).Step by a plain cross-package call.
+func Mix(n int) {
+	Sink = make(map[int]int, n) // WANT hotalloc
+	Sink = time.Now()           // WANT simdeterminism
+}
+
+// Algorithm mirrors routing.Algorithm's shape: the engine calls it only
+// through the interface.
+type Algorithm interface {
+	Route(n int) int
+}
+
+// Greedy is the sole implementation; its body is reachable only by
+// devirtualizing the interface call in Step.
+type Greedy struct{}
+
+// Route allocates on the hot path.
+func (Greedy) Route(n int) int {
+	m := map[int]bool{n: true} // WANT hotalloc
+	return len(m)
+}
+
+// Taken is never called, but Step stores it as a function value — it may run
+// later, so it is part of the per-cycle graph.
+func Taken() {
+	Sink = make(map[string]int) // WANT hotalloc
+}
+
+// Unreached is not referenced from Step's graph at all: legal.
+func Unreached() {
+	Sink = make(map[int]int)
+	Sink = time.Now()
+}

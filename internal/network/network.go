@@ -111,7 +111,9 @@ type Config struct {
 	OnDeliver func(*message.Message)
 	// OnHeaderHop, if set, is called whenever a header flit completes a hop
 	// into the given node over (dim, dir) — a flight recorder for path
-	// verification and visualization.
+	// verification and visualization. Like OnDeliver, m is engine-owned and
+	// valid only for the duration of the callback: copy what you need, do
+	// not retain the pointer.
 	OnHeaderHop func(m *message.Message, node int, dim int, dir topology.Dir)
 	// Telemetry, if set, receives per-cycle metrics and sampled worm
 	// lifecycle events. It must be sized for this network (telemetry.New
@@ -806,7 +808,9 @@ func (n *Network) applyMove(id int32) {
 		m.Advance(n.g, dim, dir, int(n.tbl.coord[ch]), int(n.tbl.parity[ch]))
 		n.vcReady[t] = n.now + 1 + int64(n.cfg.RouteDelay)
 		if n.cfg.OnHeaderHop != nil {
-			n.cfg.OnHeaderHop(m, int(n.vcNode[t]), dim, dir)
+			// Zero-copy handoff by contract: m is engine-owned and valid only
+			// for the duration of the callback (see Config.OnHeaderHop).
+			n.cfg.OnHeaderHop(m, int(n.vcNode[t]), dim, dir) //lint:allow hookescape (documented borrow, copying would allocate per hop)
 		}
 		if n.tel != nil {
 			n.tel.Hop(n.now, m.ID, int(n.vcNode[t]), ch, int(out.vc))
@@ -849,7 +853,10 @@ func (n *Network) deliver(id int32) {
 		n.tel.Deliver(n.now, m.ID, m.Dst)
 	}
 	if n.cfg.OnDeliver != nil {
-		n.cfg.OnDeliver(m)
+		// Zero-copy handoff by contract: m is pooled and valid only for the
+		// duration of the callback (see Config.OnDeliver) — it is recycled on
+		// the next line.
+		n.cfg.OnDeliver(m) //lint:allow hookescape (documented borrow, copying would defeat the message pool)
 	}
 	n.pool.Put(m)
 }

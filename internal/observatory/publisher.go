@@ -85,8 +85,8 @@ func runKey(ev core.TickEvent) string {
 // It is the Config.OnTick hook; ev is already a deep copy owned by the
 // publisher.
 func (p *Publisher) PublishTick(ev core.TickEvent) {
+	wall := p.now() // clock read stays outside the critical section
 	p.mu.Lock()
-	wall := p.now()
 	rate := 0.0
 	if prev := p.snap.Load(); prev != nil {
 		rate = prev.CyclesPerSec

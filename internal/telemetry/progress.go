@@ -37,10 +37,11 @@ func NewProgress(w io.Writer, label string, total int) *Progress {
 // Step records one completed unit and redraws the line; desc annotates the
 // unit just finished (e.g. "nbc rho=0.60 lat=245.1").
 func (p *Progress) Step(desc string) {
+	wall := p.now() // clock read stays outside the critical section
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.done++
-	elapsed := p.now().Sub(p.start)
+	elapsed := wall.Sub(p.start)
 	line := fmt.Sprintf("[%d/%d] %s %s | %s elapsed", p.done, p.total, p.label, desc, round(elapsed))
 	if p.done < p.total && p.done > 0 {
 		remaining := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
@@ -51,9 +52,10 @@ func (p *Progress) Step(desc string) {
 
 // Finish clears the rewrite cycle with a final newline and a summary.
 func (p *Progress) Finish() {
+	wall := p.now() // clock read stays outside the critical section
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	line := fmt.Sprintf("[%d/%d] %s done in %s", p.done, p.total, p.label, round(p.now().Sub(p.start)))
+	line := fmt.Sprintf("[%d/%d] %s done in %s", p.done, p.total, p.label, round(wall.Sub(p.start)))
 	p.redraw(line)
 	fmt.Fprintln(p.w)
 }
