@@ -11,9 +11,11 @@
 //	bench -o /tmp/now.json -against none # measure only, no comparison
 //
 // The comparison is advisory by default (exit 0 even on regression); pass
-// -failon time|allocs|all to turn the selected regression class into exit 1
-// for blocking CI gates. Allocation counts are reproducible where wall time
-// is hardware-noisy, so CI blocks on allocs and stays advisory on time.
+// -failon time|allocs|flithops|all to turn the selected regression classes
+// into exit 1 for blocking CI gates. Allocation counts are reproducible
+// where wall time is hardware-noisy, so CI blocks on allocs and stays
+// advisory on time; -failon all additionally gates on flit-hops/sec (the
+// engine's real work rate) falling more than -threshold below the baseline.
 package main
 
 import (
@@ -31,7 +33,7 @@ func main() {
 	out := flag.String("o", "", "output artifact path (default: next BENCH_<n>.json in -dir)")
 	against := flag.String("against", "", "previous artifact to compare with (default: latest BENCH_<n>.json in -dir; \"none\" disables)")
 	threshold := flag.Float64("threshold", 0.10, "tolerated fractional slowdown before flagging a regression")
-	failonFlag := flag.String("failon", "none", "regression class that exits nonzero: none, time, allocs or all")
+	failonFlag := flag.String("failon", "none", "regression class that exits nonzero: none, time, allocs, flithops or all")
 	quiet := flag.Bool("q", false, "suppress per-benchmark progress lines")
 	flag.Parse()
 

@@ -20,6 +20,7 @@ import (
 	"wormsim/internal/core"
 	"wormsim/internal/observatory"
 	"wormsim/internal/routing"
+	"wormsim/internal/runstore"
 	"wormsim/internal/telemetry"
 )
 
@@ -46,7 +47,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "collect telemetry; prints a per-point summary on stderr (json format embeds the full summary)")
 	tracePrefix := flag.String("trace", "", "write a Chrome trace per point to PREFIX-<alg>-<load>.json")
 	progress := flag.Bool("progress", false, "live sweep progress with ETA on stderr")
-	httpAddr := flag.String("http", "", "serve the live observatory (Prometheus /metrics, /snapshot, SSE /events, /heatmap, pprof) on this address, e.g. :8080")
+	httpAddr := flag.String("http", "", "serve the live observatory (Prometheus /metrics, /snapshot, SSE /events, /heatmap, pprof, /api/runs) on this address, e.g. :8080")
+	storeDir := flag.String("store", "", "persistent run store directory: already-recorded points skip simulation entirely; with -http the store backs the /api/runs and /api/compare endpoints")
 	flag.Int64Var(&cfg.TickCycles, "tick", 0, "observatory publication period in simulated cycles (default 1000)")
 	flag.Parse()
 	cfg.Switching = core.Switching(*sw)
@@ -62,6 +64,20 @@ func main() {
 	}
 	algList := strings.Split(*algs, ",")
 
+	// The run store turns the sweep into admission control: every point
+	// already recorded comes back without simulating a single cycle.
+	var store *runstore.Store
+	if *storeDir != "" {
+		s, err := runstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		defer s.Close()
+		store = s
+		cfg.Cache = store
+	}
+
 	// The observatory publisher is shared across every point of the sweep:
 	// the snapshot follows whichever point published last, and completed
 	// points stream out as SSE "point" events.
@@ -75,7 +91,13 @@ func main() {
 		pub.SetPhases(pp)
 		cfg.PhaseProf = pp
 		cfg.OnTick = pub.PublishTick
-		s, err := observatory.Listen(*httpAddr, pub)
+		var api *observatory.API
+		if store != nil {
+			pub.SetStore(store)
+			api = observatory.NewAPI(store, pub, runtime.GOMAXPROCS(0))
+			defer api.Close()
+		}
+		s, err := observatory.Listen(*httpAddr, pub, api)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 			os.Exit(1)
@@ -168,6 +190,9 @@ func main() {
 		}
 		peak, at := core.PeakThroughput(results)
 		note("# %s peak throughput %.3f at offered %.2f\n", alg, peak, at)
+	}
+	if store != nil {
+		note("store: hits=%d misses=%d\n", store.Hits(), store.Misses())
 	}
 	if prog != nil {
 		prog.Finish()

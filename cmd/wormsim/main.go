@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"wormsim/internal/core"
 	"wormsim/internal/observatory"
 	"wormsim/internal/routing"
+	"wormsim/internal/runstore"
 	"wormsim/internal/telemetry"
 	"wormsim/internal/topology"
 	"wormsim/internal/viz"
@@ -55,7 +57,8 @@ func main() {
 	traceFormat := flag.String("traceformat", "chrome", "trace file format: chrome or jsonl")
 	traceSample := flag.Int64("tracesample", 1, "trace every Nth worm")
 	progress := flag.Bool("progress", false, "live per-sample progress with ETA on stderr")
-	httpAddr := flag.String("http", "", "serve the live observatory (Prometheus /metrics, /snapshot, SSE /events, /heatmap, pprof) on this address, e.g. :8080")
+	httpAddr := flag.String("http", "", "serve the live observatory (Prometheus /metrics, /snapshot, SSE /events, /heatmap, pprof, /api/runs) on this address, e.g. :8080")
+	storeDir := flag.String("store", "", "persistent run store directory: cached points skip simulation entirely; with -http the store backs the /api/runs and /api/compare endpoints")
 	flag.Int64Var(&cfg.TickCycles, "tick", 0, "observatory publication period in simulated cycles (default 1000)")
 	linger := flag.Duration("linger", 0, "keep the observatory server up this long after the run (e.g. 10m)")
 	phaseprof := flag.Bool("phaseprof", false, "profile engine wall time per pipeline phase and print the report")
@@ -140,13 +143,35 @@ func main() {
 		fmt.Printf("wrote %s\n", *saveConfig)
 		return
 	}
+	// The run store: content-addressed persistence for every completed
+	// point. Attached to the config it short-circuits repeat runs; attached
+	// to the observatory it backs the /api/runs and /api/compare surface.
+	var store *runstore.Store
+	if *storeDir != "" {
+		s, err := runstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wormsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer s.Close()
+		store = s
+		cfg.Cache = store
+	}
 	// The observatory: a publisher fed by the engine's tick hook, served
 	// over HTTP. The phase profiler rides along whenever either is wanted.
 	var pub *observatory.Publisher
 	var obsrv *observatory.Server
 	if *httpAddr != "" {
 		pub = observatory.NewPublisher()
-		s, err := observatory.Listen(*httpAddr, pub)
+	}
+	if pub != nil {
+		var api *observatory.API
+		if store != nil {
+			pub.SetStore(store)
+			api = observatory.NewAPI(store, pub, runtime.GOMAXPROCS(0))
+			defer api.Close()
+		}
+		s, err := observatory.Listen(*httpAddr, pub, api)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wormsim: %v\n", err)
 			os.Exit(1)
@@ -174,7 +199,7 @@ func main() {
 		}
 	}
 
-	res, err := core.Run(cfg)
+	res, hit, err := core.RunCached(cfg)
 	if prog != nil {
 		prog.Finish()
 	}
@@ -183,6 +208,14 @@ func main() {
 		if !res.Deadlocked {
 			os.Exit(1)
 		}
+	}
+	if hit {
+		fmt.Fprintf(os.Stderr, "result served from run store %s (cache hit %s, zero cycles simulated)\n",
+			store.Path(), cfg.Hash()[:12])
+	}
+	if store != nil {
+		// Printed eagerly: the deadlock exit below bypasses defers.
+		fmt.Fprintf(os.Stderr, "store: hits=%d misses=%d\n", store.Hits(), store.Misses())
 	}
 
 	fmt.Printf("network      : %d-ary %d-cube", cfg.K, cfg.N)

@@ -89,6 +89,13 @@ type Delta struct {
 	OldAllocsPerOp  float64
 	NewAllocsPerOp  float64
 	AllocsRegressed bool
+	// Simulation-throughput comparison: flit-hops/sec is the engine's real
+	// work rate (flit transfers per wall second), so a drop means the
+	// simulator got slower at its actual job even if ns/op noise hides it.
+	// Higher is better: FlitHopsRegressed flags a fall beyond the threshold.
+	OldFlitHopsPerSec float64
+	NewFlitHopsPerSec float64
+	FlitHopsRegressed bool
 }
 
 // Compare diffs two artifacts benchmark-by-benchmark. threshold is the
@@ -116,16 +123,21 @@ func Compare(old, cur Artifact, threshold float64) ([]Delta, error) {
 			continue
 		}
 		d := Delta{
-			Name:           m.Name,
-			OldNsPerOp:     o.NsPerOp,
-			NewNsPerOp:     m.NsPerOp,
-			Ratio:          m.NsPerOp / o.NsPerOp,
-			OldAllocsPerOp: o.AllocsPerOp,
-			NewAllocsPerOp: m.AllocsPerOp,
+			Name:              m.Name,
+			OldNsPerOp:        o.NsPerOp,
+			NewNsPerOp:        m.NsPerOp,
+			Ratio:             m.NsPerOp / o.NsPerOp,
+			OldAllocsPerOp:    o.AllocsPerOp,
+			NewAllocsPerOp:    m.AllocsPerOp,
+			OldFlitHopsPerSec: o.FlitHopsPerSec,
+			NewFlitHopsPerSec: m.FlitHopsPerSec,
 		}
 		d.Regressed = d.Ratio > 1+threshold
 		rise := m.AllocsPerOp - o.AllocsPerOp
 		d.AllocsRegressed = rise > 0.5 && m.AllocsPerOp > o.AllocsPerOp*(1+threshold)
+		// A throughput rate regresses downward; benchmarks without flit
+		// traffic (o == 0, e.g. the saf engine) are exempt.
+		d.FlitHopsRegressed = o.FlitHopsPerSec > 0 && m.FlitHopsPerSec < o.FlitHopsPerSec*(1-threshold)
 		out = append(out, d)
 	}
 	return out, nil
@@ -143,7 +155,10 @@ const (
 	// FailAllocs reports allocs/op regressions — the blocking CI gate,
 	// because allocation counts are reproducible where wall time is not.
 	FailAllocs FailOn = "allocs"
-	// FailAll reports both classes.
+	// FailFlitHops reports flit-hops/sec regressions: the simulator doing
+	// its real work (flit transfers) slower than the baseline.
+	FailFlitHops FailOn = "flithops"
+	// FailAll reports every class: time, allocs and flit-hops/sec.
 	FailAll FailOn = "all"
 )
 
@@ -152,10 +167,10 @@ func ParseFailOn(s string) (FailOn, error) {
 	switch f := FailOn(s); f {
 	case "", FailNone:
 		return FailNone, nil
-	case FailTime, FailAllocs, FailAll:
+	case FailTime, FailAllocs, FailFlitHops, FailAll:
 		return f, nil
 	}
-	return FailNone, fmt.Errorf("bench: -failon %q: want none, time, allocs or all", s)
+	return FailNone, fmt.Errorf("bench: -failon %q: want none, time, allocs, flithops or all", s)
 }
 
 // Regressions filters deltas down to the ones flagged in the selected
@@ -165,7 +180,8 @@ func Regressions(deltas []Delta, mode FailOn) []Delta {
 	for _, d := range deltas {
 		time := d.Regressed && (mode == FailTime || mode == FailAll)
 		allocs := d.AllocsRegressed && (mode == FailAllocs || mode == FailAll)
-		if time || allocs {
+		flithops := d.FlitHopsRegressed && (mode == FailFlitHops || mode == FailAll)
+		if time || allocs || flithops {
 			out = append(out, d)
 		}
 	}
@@ -177,8 +193,8 @@ func FormatDeltas(deltas []Delta) string {
 	if len(deltas) == 0 {
 		return "no comparable benchmarks\n"
 	}
-	out := fmt.Sprintf("%-28s %14s %14s %8s %12s %12s\n",
-		"benchmark", "old ns/op", "new ns/op", "ratio", "old allocs", "new allocs")
+	out := fmt.Sprintf("%-28s %14s %14s %8s %12s %12s %14s %14s\n",
+		"benchmark", "old ns/op", "new ns/op", "ratio", "old allocs", "new allocs", "old flit-hop/s", "new flit-hop/s")
 	for _, d := range deltas {
 		flag := ""
 		if d.Regressed {
@@ -187,8 +203,12 @@ func FormatDeltas(deltas []Delta) string {
 		if d.AllocsRegressed {
 			flag += "  ALLOC-REGRESSION"
 		}
-		out += fmt.Sprintf("%-28s %14.0f %14.0f %7.2fx %12.0f %12.0f%s\n",
-			d.Name, d.OldNsPerOp, d.NewNsPerOp, d.Ratio, d.OldAllocsPerOp, d.NewAllocsPerOp, flag)
+		if d.FlitHopsRegressed {
+			flag += "  FLITHOPS-REGRESSION"
+		}
+		out += fmt.Sprintf("%-28s %14.0f %14.0f %7.2fx %12.0f %12.0f %14.0f %14.0f%s\n",
+			d.Name, d.OldNsPerOp, d.NewNsPerOp, d.Ratio, d.OldAllocsPerOp, d.NewAllocsPerOp,
+			d.OldFlitHopsPerSec, d.NewFlitHopsPerSec, flag)
 	}
 	return out
 }

@@ -130,6 +130,40 @@ func TestCompare(t *testing.T) {
 		t.Errorf("all-mode regressions: %+v", got)
 	}
 
+	// Flit-hops gate: a drop in the engine's real work rate beyond the
+	// threshold blocks under -failon flithops and -failon all, a rise or
+	// jitter does not, and benchmarks without flit traffic are exempt.
+	old = sampleArtifact()
+	cur = sampleArtifact()
+	cur.Benchmarks[0].FlitHopsPerSec = old.Benchmarks[0].FlitHopsPerSec * 0.8  // 20% slower at real work
+	cur.Benchmarks[1].FlitHopsPerSec = old.Benchmarks[1].FlitHopsPerSec * 1.05 // improvement
+	deltas, err = Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = Regressions(deltas, FailFlitHops)
+	if len(got) != 1 || got[0].Name != "engine/nbc" || !got[0].FlitHopsRegressed {
+		t.Errorf("flit-hops regressions: %+v", got)
+	}
+	if got := Regressions(deltas, FailAll); len(got) != 1 || got[0].Name != "engine/nbc" {
+		t.Errorf("all-mode must include the flit-hops class: %+v", got)
+	}
+	if got := Regressions(deltas, FailAllocs); len(got) != 0 {
+		t.Errorf("flit-hops drop misfiled under allocs: %+v", got)
+	}
+	if table := FormatDeltas(deltas); !strings.Contains(table, "FLITHOPS-REGRESSION") {
+		t.Errorf("table missing flit-hops flag:\n%s", table)
+	}
+	old.Benchmarks[0].FlitHopsPerSec = 0 // e.g. the saf engine: no flit channels
+	cur.Benchmarks[0].FlitHopsPerSec = 0
+	deltas, err = Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Regressions(deltas, FailFlitHops); len(got) != 0 {
+		t.Errorf("zero-rate benchmark flagged: %+v", got)
+	}
+
 	// Guard rails: mismatched schema or suite size refuse to compare.
 	bad := sampleArtifact()
 	bad.Short = false
@@ -153,6 +187,7 @@ func TestParseFailOn(t *testing.T) {
 		{"none", FailNone, true},
 		{"time", FailTime, true},
 		{"allocs", FailAllocs, true},
+		{"flithops", FailFlitHops, true},
 		{"all", FailAll, true},
 		{"bogus", FailNone, false},
 	} {

@@ -110,6 +110,28 @@ type Config struct {
 	// (see telemetry.PhaseProfiler). Shared across the runs of a sweep; its
 	// accumulators are atomic. Not part of the persisted config.
 	PhaseProf *telemetry.PhaseProfiler `json:"-"`
+	// Cache, if set, is consulted by RunCached (and so by Sweep,
+	// SweepObserved and SweepReplicated) before simulating: a hit returns
+	// the stored Result without burning a single engine cycle, a miss runs
+	// the point and records it. Simulations are pure functions of the
+	// canonical config, so the cached and fresh paths are interchangeable —
+	// see runstore.Store, the persistent implementation. Must be safe for
+	// concurrent use by sweep workers. Not part of the persisted config.
+	Cache ResultCache `json:"-"`
+}
+
+// ResultCache is the admission-control hook Sweep and friends consult
+// before simulating: converged Results keyed by Config.Hash. Implementations
+// must be safe for concurrent use (sweep workers hit them in parallel) and
+// must return stored Results verbatim — the contract, pinned by
+// runstore's bit-identity tests, is that a cache hit is indistinguishable
+// from re-running the simulation.
+type ResultCache interface {
+	// Lookup returns the Result stored under hash, if any.
+	Lookup(hash string) (Result, bool)
+	// Store records a completed run under hash. cfg is the canonical config
+	// the hash digests, for later inspection and comparison queries.
+	Store(hash string, cfg Config, r Result) error
 }
 
 // TickEvent is one OnTick publication: the run's identity plus a deep copy
@@ -169,6 +191,9 @@ func (c *Config) ApplyDefaults() {
 	}
 	if c.Pattern == "" {
 		c.Pattern = "uniform"
+	}
+	if c.Policy == "" {
+		c.Policy = "random" // GetPolicy treats "" and "random" alike; normalizing keeps Hash canonical
 	}
 	if c.Switching == "" {
 		c.Switching = Wormhole
@@ -573,6 +598,38 @@ func cfgCycles(cfg Config, samples int) int64 {
 	return cfg.WarmupCycles + int64(samples)*(cfg.SampleCycles+cfg.GapCycles)
 }
 
+// RunCached executes one simulation point through cfg.Cache: a hit returns
+// the stored Result with zero engine cycles, a miss runs the point and
+// stores it. hit reports which path was taken. With no cache attached it is
+// exactly Run. Configs that retain a lifecycle trace bypass the cache both
+// ways (TraceEvents are deliberately not persisted, so a cached Result
+// could not honor them).
+//
+// Cached deadlocked points return their recorded Result with a nil error:
+// the deadlock is a deterministic property of the config, already fully
+// described by Result.Deadlocked, and the original engine error (a
+// network.DeadlockError with live worm state) cannot outlive the run that
+// produced it. Callers following the Sweep convention — check
+// Result.Deadlocked, not just err — behave identically on both paths.
+func RunCached(cfg Config) (r Result, hit bool, err error) {
+	if cfg.Cache == nil || (cfg.Telemetry != nil && cfg.Telemetry.Trace) {
+		r, err = Run(cfg)
+		return r, false, err
+	}
+	hash := cfg.Hash()
+	if r, ok := cfg.Cache.Lookup(hash); ok {
+		return r, true, nil
+	}
+	r, err = Run(cfg)
+	if err != nil && !r.Deadlocked {
+		return r, false, err
+	}
+	if serr := cfg.Cache.Store(hash, cfg.Canonical(), r); serr != nil {
+		return r, false, fmt.Errorf("core: record run %s: %w", hash[:12], serr)
+	}
+	return r, false, err
+}
+
 // Sweep runs cfg at each offered load, in parallel across the machine's
 // cores (each individual simulation is single-threaded and deterministic,
 // so the results are identical to a sequential sweep). Results come back in
@@ -606,7 +663,7 @@ func SweepObserved(cfg Config, loads []float64, workers int, onDone func(i int, 
 		s.Submit(func(int) {
 			c := cfg
 			c.OfferedLoad = loads[i]
-			r, err := Run(c)
+			r, _, err := RunCached(c)
 			results[i] = r
 			if err != nil && !r.Deadlocked {
 				errs[i] = fmt.Errorf("core: sweep at rho=%.3g: %w", loads[i], err)

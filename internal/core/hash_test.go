@@ -1,0 +1,106 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"wormsim/internal/telemetry"
+)
+
+// TestHashCanonicalization pins the content-address contract: the hash is a
+// pure function of the simulation point, not of how the Config was spelled
+// or what runtime hooks ride along.
+func TestHashCanonicalization(t *testing.T) {
+	zero := Config{}
+	explicit := Config{
+		K: 16, N: 2, Algorithm: "ecube", Pattern: "uniform", Switching: Wormhole,
+		MsgLen: 16, BufDepth: 4, CCLimit: 2, InjectionPorts: 2,
+		WarmupCycles: 5000, SampleCycles: 2000, GapCycles: 500,
+		MinSamples: 3, MaxSamples: 12, Tolerance: 0.05, Seed: 0x5eed,
+	}
+	if zero.Hash() != explicit.Hash() {
+		t.Errorf("zero config and its spelled-out defaults hash differently:\n%s\n%s", zero.Hash(), explicit.Hash())
+	}
+
+	hooked := explicit
+	hooked.OnSample = func(SampleEvent) {}
+	hooked.OnTick = func(TickEvent) {}
+	hooked.TickCycles = 250
+	hooked.PhaseProf = telemetry.NewPhaseProfiler()
+	hooked.Cache = nopCache{}
+	if hooked.Hash() != explicit.Hash() {
+		t.Error("runtime hooks, tick period or cache attachment changed the hash")
+	}
+
+	if h := explicit.Hash(); len(h) != 64 || strings.ToLower(h) != h {
+		t.Errorf("hash %q is not lowercase hex sha256", h)
+	}
+}
+
+// TestHashDistinguishesSimulationPoints: any field that changes the Result
+// must change the hash.
+func TestHashDistinguishesSimulationPoints(t *testing.T) {
+	base := Config{}
+	mutations := map[string]func(*Config){
+		"K":           func(c *Config) { c.K = 8 },
+		"N":           func(c *Config) { c.N = 3 },
+		"Mesh":        func(c *Config) { c.Mesh = true },
+		"Algorithm":   func(c *Config) { c.Algorithm = "nbc" },
+		"Pattern":     func(c *Config) { c.Pattern = "transpose" },
+		"Policy":      func(c *Config) { c.Policy = "first" },
+		"Switching":   func(c *Config) { c.Switching = CutThrough },
+		"OfferedLoad": func(c *Config) { c.OfferedLoad = 0.42 },
+		"MsgLen":      func(c *Config) { c.MsgLen = 32 },
+		"BufDepth":    func(c *Config) { c.BufDepth = 8 },
+		"CCLimit":     func(c *Config) { c.CCLimit = 1 },
+		"Seed":        func(c *Config) { c.Seed = 99 },
+		"MaxSamples":  func(c *Config) { c.MaxSamples = 5 },
+		"Telemetry":   func(c *Config) { c.Telemetry = &telemetry.Options{Metrics: true} },
+	}
+	seen := map[string]string{base.Hash(): "base"}
+	names := make([]string, 0, len(mutations))
+	for name := range mutations { //lint:allow simdeterminism (sorted below)
+		names = append(names, name)
+	}
+	// Sorted so a collision report is deterministic.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, name := range names {
+		c := base
+		mutations[name](&c)
+		h := c.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("mutating %s collides with %s (hash %s)", name, prev, h[:12])
+		}
+		seen[h] = name
+	}
+}
+
+// TestPairKeyAlignsAcrossAlgorithms: PairKey masks only the algorithm, so
+// A-vs-B comparison points align exactly when everything else matches.
+func TestPairKeyAlignsAcrossAlgorithms(t *testing.T) {
+	a := Config{Algorithm: "nbc", OfferedLoad: 0.5}
+	b := Config{Algorithm: "ecube", OfferedLoad: 0.5}
+	if a.PairKey() != b.PairKey() {
+		t.Error("configs differing only in algorithm have different PairKeys")
+	}
+	if a.Hash() == b.Hash() {
+		t.Error("configs differing in algorithm share a Hash")
+	}
+	c := b
+	c.OfferedLoad = 0.6
+	if a.PairKey() == c.PairKey() {
+		t.Error("PairKey ignored the offered load")
+	}
+}
+
+// nopCache is the smallest ResultCache: never hits, remembers nothing.
+type nopCache struct{}
+
+func (nopCache) Lookup(string) (Result, bool)       { return Result{}, false }
+func (nopCache) Store(string, Config, Result) error { return nil }

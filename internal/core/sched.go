@@ -200,7 +200,7 @@ func SweepReplicated(cfg Config, loads []float64, seeds []uint64, workers int) (
 					c := cfg
 					c.OfferedLoad = loads[i]
 					c.Seed = seeds[j]
-					r, err := Run(c)
+					r, _, err := RunCached(c)
 					out[i].Replicas[j] = r
 					if err != nil && !r.Deadlocked {
 						errs[i*len(seeds)+j] = fmt.Errorf("core: replicated sweep at rho=%.3g seed=%#x: %w", loads[i], seeds[j], err)

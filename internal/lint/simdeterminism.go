@@ -59,6 +59,10 @@ func NewSimDeterminism() *SimDeterminism {
 			// standard; its one deliberate wall-clock read (the Progress ETA,
 			// behind an injectable clock) is annotated in place.
 			"wormsim/internal/telemetry",
+			// runstore sits on the sweep's cache-hit branch: a Lookup that
+			// read the clock or ranged a map would break the bit-identical
+			// warm-rerun guarantee, so the whole package is in scope.
+			"wormsim/internal/runstore",
 		},
 		RootPkg: "wormsim/internal/network",
 		Root:    "(*Network).Step",

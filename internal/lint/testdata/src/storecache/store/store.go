@@ -1,0 +1,40 @@
+// Package store is the dep half of the storecache fixture: its Lookup and
+// Put sit on Sweep's cache-hit branch, so the wall-clock reads inside them
+// must be flagged through the reachability scope even though the package
+// itself is untargeted. Maintenance code the sweep never reaches (Vacuum)
+// may read the clock freely.
+package store
+
+import "time"
+
+// Store mimics a run store keyed by offered load.
+type Store struct {
+	records map[float64]float64
+	stamp   int64
+}
+
+// New builds an empty store.
+func New() *Store { return &Store{records: make(map[float64]float64)} }
+
+// Lookup returns a cached latency. Stamping the access time poisons the
+// cache-hit branch: a warm rerun would observe a different store state.
+func (s *Store) Lookup(load float64) (float64, bool) {
+	s.stamp = time.Now().UnixNano() // WANT simdeterminism
+	r, ok := s.records[load]
+	return r, ok
+}
+
+// Put records a freshly simulated point on the miss branch.
+func (s *Store) Put(load, latency float64) {
+	s.stamp = time.Now().UnixNano() // WANT simdeterminism
+	s.records[load] = latency
+}
+
+// Vacuum is maintenance the sweep never calls: the clock read here is
+// legal because the root cannot reach it.
+func (s *Store) Vacuum(maxAge time.Duration) {
+	cutoff := time.Now().Add(-maxAge).UnixNano()
+	if s.stamp < cutoff {
+		s.records = make(map[float64]float64)
+	}
+}

@@ -134,6 +134,17 @@ func TestWitnessChain(t *testing.T) {
 	}
 }
 
+// TestStoreCacheSimDeterminism: the run-store guard-rail. Wall-clock reads
+// in a store's Lookup/Put must be flagged when a Sweep-like root consults
+// the store on its cache-hit branch, while maintenance code the sweep never
+// reaches stays legal. This is the fixture backing the production claim
+// that warm-store reruns are bit-identical: the cache-hit path cannot
+// observe the clock.
+func TestStoreCacheSimDeterminism(t *testing.T) {
+	pkgs := loadFixtures(t, "storecache", "storecache/store")
+	checkFixtureMulti(t, pkgs, &SimDeterminism{RootPkg: pkgs[0].Path, Root: "Sweep"})
+}
+
 func TestAtomicDisciplineFixture(t *testing.T) {
 	checkFixtureMulti(t, loadFixtures(t, "atomicbad"), NewAtomicDiscipline())
 }

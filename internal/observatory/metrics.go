@@ -17,6 +17,17 @@ func (p *Publisher) WriteMetrics(w io.Writer) error {
 	mw := &metricWriter{w: w}
 	mw.metric("wormsim_observatory_up", "gauge",
 		"Whether the observatory publisher is serving.", "", 1)
+	mw.metric("wormsim_sse_dropped_frames_total", "counter",
+		"SSE frames dropped because a subscriber's buffer was full (slow clients never stall the simulation).",
+		"", float64(p.DroppedFrames()))
+	if sc := p.storeCounters(); sc != nil {
+		mw.metric("wormsim_runstore_records", "gauge",
+			"Distinct runs held by the attached run store.", "", float64(sc.Len()))
+		mw.metric("wormsim_runstore_hits_total", "counter",
+			"Run-store lookups answered from the store (simulations skipped entirely).", "", float64(sc.Hits()))
+		mw.metric("wormsim_runstore_misses_total", "counter",
+			"Run-store lookups that had to simulate.", "", float64(sc.Misses()))
+	}
 
 	s := p.Snapshot()
 	if s == nil {

@@ -60,7 +60,24 @@ type Publisher struct {
 	sweepTotal atomic.Int64
 	sweepDone  atomic.Int64
 	phases     atomic.Pointer[telemetry.PhaseProfiler]
+
+	// dropped counts SSE frames discarded because a subscriber's buffer was
+	// full — the observable cost of the drop-rather-than-stall policy.
+	dropped atomic.Int64
+
+	store atomic.Pointer[storeCountersBox]
 }
+
+// StoreCounters is the slice of a run store the metrics exposition needs:
+// cache-hit/miss counters and the record count. runstore.Store implements it.
+type StoreCounters interface {
+	Hits() int64
+	Misses() int64
+	Len() int
+}
+
+// storeCountersBox wraps the interface so it fits an atomic.Pointer.
+type storeCountersBox struct{ sc StoreCounters }
 
 // NewPublisher returns a publisher on the real clock.
 func NewPublisher() *Publisher {
@@ -74,6 +91,21 @@ func (p *Publisher) SetPhases(pp *telemetry.PhaseProfiler) { p.phases.Store(pp) 
 // SetSweepTotal declares how many sweep points will run, for progress
 // reporting.
 func (p *Publisher) SetSweepTotal(n int) { p.sweepTotal.Store(int64(n)) }
+
+// SetStore attaches a run store whose cache counters are exported on
+// /metrics (wormsim_runstore_hits_total and friends).
+func (p *Publisher) SetStore(sc StoreCounters) { p.store.Store(&storeCountersBox{sc}) }
+
+// storeCounters returns the attached store, or nil.
+func (p *Publisher) storeCounters() StoreCounters {
+	if box := p.store.Load(); box != nil {
+		return box.sc
+	}
+	return nil
+}
+
+// DroppedFrames reports SSE frames dropped because a subscriber was slow.
+func (p *Publisher) DroppedFrames() int64 { return p.dropped.Load() }
 
 // runKey identifies a run so rate estimation resets across sweep points.
 func runKey(ev core.TickEvent) string {
@@ -170,6 +202,7 @@ func (p *Publisher) broadcastLocked(frame []byte) {
 		select {
 		case ch <- frame:
 		default: // slow client: drop rather than stall the simulation side
+			p.dropped.Add(1)
 		}
 	}
 }

@@ -18,22 +18,25 @@ import (
 // through the Publisher's atomic snapshot and the drop-on-full SSE hub).
 type Server struct {
 	pub *Publisher
+	api *API
 	ln  net.Listener
 	srv *http.Server
 }
 
 // Listen starts serving pub on addr (e.g. ":8080", or "127.0.0.1:0" to let
-// the kernel pick a test port). It also enables the runtime's block and
+// the kernel pick a test port). api may be nil — the /api/* and
+// /compare.svg endpoints then answer 503 until a run store is attached
+// (start the CLI with -store DIR). It also enables the runtime's block and
 // mutex profiles — the cost is only paid when an observatory is actually
 // attached.
-func Listen(addr string, pub *Publisher) (*Server, error) {
+func Listen(addr string, pub *Publisher, api *API) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("observatory: %w", err)
 	}
 	runtime.SetBlockProfileRate(1000)
 	runtime.SetMutexProfileFraction(100)
-	s := &Server{pub: pub, ln: ln}
+	s := &Server{pub: pub, api: api, ln: ln}
 	s.srv = &http.Server{Handler: s.mux(), ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(ln) //nolint:errcheck // always returns ErrServerClosed after Close
 	return s, nil
@@ -57,6 +60,10 @@ func (s *Server) mux() *http.ServeMux {
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/heatmap", s.handleHeatmapPage)
 	mux.HandleFunc("/heatmap.svg", s.handleHeatmapSVG)
+	mux.HandleFunc("/api/runs", s.withAPI(func(w http.ResponseWriter, r *http.Request) { s.api.handleRuns(w, r) }))
+	mux.HandleFunc("/api/runs/", s.withAPI(func(w http.ResponseWriter, r *http.Request) { s.api.handleRun(w, r) }))
+	mux.HandleFunc("/api/compare", s.withAPI(func(w http.ResponseWriter, r *http.Request) { s.api.handleCompare(w, r) }))
+	mux.HandleFunc("/compare.svg", s.withAPI(func(w http.ResponseWriter, r *http.Request) { s.api.handleCompareSVG(w, r) }))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -64,6 +71,18 @@ func (s *Server) mux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	return mux
+}
+
+// withAPI gates a handler on a run store being attached.
+func (s *Server) withAPI(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.api == nil {
+			w.Header().Set("Content-Type", "application/json")
+			http.Error(w, `{"error":"no run store attached (start with -store DIR)"}`, http.StatusServiceUnavailable)
+			return
+		}
+		h(w, r)
+	}
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -90,6 +109,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/snapshot">/snapshot</a> — full state as JSON</li>
 <li><a href="/events">/events</a> — SSE stream (ticks, sweep points, sampled worm events)</li>
 <li><a href="/heatmap">/heatmap</a> — live channel-utilization heatmap</li>
+<li><a href="/api/runs">/api/runs</a> — run store: GET lists recorded runs, POST a JSON config to submit one</li>
+<li><a href="/api/compare">/api/compare?a=ALG&amp;b=ALG</a> — aligned A-vs-B curves from the store</li>
+<li><a href="/compare.svg">/compare.svg?a=ALG&amp;b=ALG</a> — the comparison as an SVG overlay plot</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — CPU, heap, block and mutex profiles</li>
 <li><a href="/debug/vars">/debug/vars</a> — expvar</li>
 </ul></body>
@@ -158,7 +180,10 @@ func (s *Server) handleHeatmapPage(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleHeatmapSVG(w http.ResponseWriter, _ *http.Request) {
 	snap := s.pub.Snapshot()
 	w.Header().Set("Content-Type", "image/svg+xml")
-	if snap == nil {
+	// Zero-cycle or otherwise empty snapshots (no tick yet, a degenerate
+	// topology, or an engine that published before moving any flit) get a
+	// valid placeholder document, never a malformed grid.
+	if snap == nil || snap.Tick.K < 1 || snap.Tick.N < 1 || len(snap.Tick.ChannelFlits) == 0 {
 		fmt.Fprint(w, `<svg xmlns="http://www.w3.org/2000/svg" width="320" height="48"><text x="16" y="28" font-family="system-ui,sans-serif" font-size="13" fill="#52514e">waiting for first tick</text></svg>`)
 		return
 	}

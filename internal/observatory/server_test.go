@@ -35,7 +35,7 @@ func get(t *testing.T, url string) (int, string) {
 
 func TestServerEndpoints(t *testing.T) {
 	pub := testPublisher()
-	srv, err := Listen("127.0.0.1:0", pub)
+	srv, err := Listen("127.0.0.1:0", pub, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestServerEndpoints(t *testing.T) {
 
 func TestSSEStream(t *testing.T) {
 	pub := testPublisher()
-	srv, err := Listen("127.0.0.1:0", pub)
+	srv, err := Listen("127.0.0.1:0", pub, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestObservedRunIsBitIdentical(t *testing.T) {
 	obs.PhaseProf = pp
 	pub.SetPhases(pp)
 	pub.SetSweepTotal(len(loads))
-	srv, err := Listen("127.0.0.1:0", pub)
+	srv, err := Listen("127.0.0.1:0", pub, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +311,7 @@ func BenchmarkObservatoryOverhead(b *testing.B) {
 	b.Run("publish", func(b *testing.B) { run(b, NewPublisher()) })
 	b.Run("served", func(b *testing.B) {
 		pub := NewPublisher()
-		srv, err := Listen("127.0.0.1:0", pub)
+		srv, err := Listen("127.0.0.1:0", pub, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,93 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"wormsim/internal/topology"
+)
+
+func testSeries() []CurveSeries {
+	return []CurveSeries{
+		{
+			Name:       "nbc",
+			Loads:      []float64{0.2, 0.4, 0.6, 0.8},
+			Latency:    []float64{24.1, 31.9, 55.4, 140.2},
+			Throughput: []float64{0.19, 0.38, 0.52, 0.49},
+			Deadlocked: []bool{false, false, false, false},
+		},
+		{
+			Name:       "ecube",
+			Loads:      []float64{0.2, 0.4, 0.6, 0.8},
+			Latency:    []float64{25.0, 35.2, 88.7, 121.3},
+			Throughput: []float64{0.19, 0.37, 0.44, 0.31},
+			Deadlocked: []bool{false, false, false, true},
+		},
+	}
+}
+
+func TestSaturationIndex(t *testing.T) {
+	s := testSeries()
+	if got := s[0].SaturationIndex(); got != 2 {
+		t.Errorf("nbc saturation index %d, want 2 (peak throughput)", got)
+	}
+	// ecube's last point deadlocked; its throughput must not win.
+	if got := s[1].SaturationIndex(); got != 2 {
+		t.Errorf("ecube saturation index %d, want 2", got)
+	}
+	if got := (CurveSeries{}).SaturationIndex(); got != -1 {
+		t.Errorf("empty series saturation index %d, want -1", got)
+	}
+	all := CurveSeries{Throughput: []float64{0.1, 0.2}, Deadlocked: []bool{true, true}}
+	if got := all.SaturationIndex(); got != -1 {
+		t.Errorf("all-deadlocked saturation index %d, want -1", got)
+	}
+}
+
+func TestCompareSVG(t *testing.T) {
+	svg := CompareSVG("nbc vs ecube", testSeries())
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg"`,
+		"nbc vs ecube",     // title
+		"<polyline",        // the curves
+		"stroke-dasharray", // saturation rings
+		"deadlock",         // the deadlocked point's tooltip
+		"offered load",
+		"latency (cycles)",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("CompareSVG output missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("want one polyline per series, have %d", strings.Count(svg, "<polyline"))
+	}
+	// Deterministic: same inputs, same bytes.
+	if again := CompareSVG("nbc vs ecube", testSeries()); again != svg {
+		t.Error("CompareSVG is not a pure function of its inputs")
+	}
+}
+
+func TestCompareSVGEmpty(t *testing.T) {
+	for _, series := range [][]CurveSeries{nil, {{Name: "nbc"}, {Name: "ecube"}}} {
+		svg := CompareSVG("empty", series)
+		if !strings.Contains(svg, "no comparable points yet") || !strings.Contains(svg, "</svg>") {
+			t.Errorf("empty comparison not a valid placeholder: %.160q", svg)
+		}
+	}
+}
+
+// TestHeatmapSVGEmptyCounts: a zero-cycle run (no channel data yet) must
+// yield a valid placeholder document, not a grid of fabricated zeros.
+func TestHeatmapSVGEmptyCounts(t *testing.T) {
+	g := topology.NewTorus(4, 2)
+	svg := HeatmapSVG(g, nil, "t")
+	if !strings.Contains(svg, "no channel data yet") || !strings.Contains(svg, "</svg>") {
+		t.Errorf("empty-counts heatmap: %.160q", svg)
+	}
+	// All-zero counts are real data (an idle network): render the grid.
+	svg = HeatmapSVG(g, make([]int64, g.ChannelSlots()), "idle")
+	if !strings.Contains(svg, "<rect") || !strings.Contains(svg, "0 flits") {
+		t.Errorf("all-zero heatmap should render the idle grid: %.160q", svg)
+	}
+}

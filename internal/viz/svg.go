@@ -48,6 +48,17 @@ func rampColor(v, max float64) string {
 // the inputs, so identical runs produce byte-identical documents.
 func HeatmapSVG(g *topology.Grid, counts []int64, title string) string {
 	var b strings.Builder
+	if len(counts) == 0 {
+		// A run that has not moved a flit yet (or an engine without
+		// flit-level channels) publishes no counts; render a valid
+		// placeholder instead of an empty grid pretending to be data.
+		w, h := 360, 48
+		fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+		fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", w, h, svgSurface)
+		fmt.Fprintf(&b, `<text x="%d" y="28" font-family="system-ui,sans-serif" font-size="13" fill="%s">no channel data yet</text>`+"\n", svgPad, svgMutedInk)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
 	if g.N() != 2 {
 		w, h := 360, 48
 		fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
