@@ -12,6 +12,8 @@
 //	wormlint -sarif out.sarif ./...     # SARIF 2.1.0 for code scanning
 //	wormlint -writebaseline lint.txt    # accept today's findings as debt
 //	wormlint -baseline lint.txt ./...   # gate only on new findings
+//	wormlint -certify-purity certs.json # purity certificates for the run
+//	                                    # entry points (CI pins a golden)
 //
 // Findings print as "file:line: [pass] message". Exit status: 0 clean,
 // 1 findings, 2 usage or load/type-check failure. Intentional uses are
@@ -19,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +38,7 @@ func main() {
 	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
 	baselinePath := flag.String("baseline", "", "suppress findings listed in this baseline file")
 	writeBaseline := flag.String("writebaseline", "", "write current findings to this baseline file and exit 0")
+	certifyPurity := flag.String("certify-purity", "", "write purity certificates for the run entry points to this file and gate on violations")
 	flag.Parse()
 
 	passes := lint.DefaultPasses()
@@ -68,6 +72,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wormlint: %v\n", err)
 		os.Exit(2)
 	}
+
+	if *certifyPurity != "" {
+		certify(pkgs, loader.ModRoot, *certifyPurity)
+		return
+	}
+
 	findings := lint.Run(pkgs, passes)
 
 	if *fix {
@@ -77,7 +87,7 @@ func main() {
 			os.Exit(2)
 		}
 		var names []string
-		for name := range patched { //lint:allow simdeterminism (sorted below)
+		for name := range patched {
 			names = append(names, name)
 		}
 		sort.Strings(names)
@@ -151,6 +161,46 @@ func main() {
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "wormlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// certify runs the purity certification (see lint.CertifyPurity) and writes
+// the certificate set to path. Exit status: 0 when every entry point is
+// pure modulo annotated exemptions, 1 when any certificate carries
+// violations, 2 when certification itself fails.
+func certify(pkgs []*lint.Package, modRoot, path string) {
+	prog := lint.NewProgram(pkgs)
+	certs, err := lint.CertifyPurity(prog, lint.NewPurity(), modRoot)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wormlint: -certify-purity: %v\n", err)
+		os.Exit(2)
+	}
+	data, err := json.MarshalIndent(certs, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wormlint: -certify-purity: %v\n", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "wormlint: -certify-purity: %v\n", err)
+		os.Exit(2)
+	}
+	violations := 0
+	for _, cert := range certs.Entries {
+		status := "PURE"
+		if !cert.Pure {
+			status = "IMPURE"
+			violations += len(cert.Violations)
+		}
+		fmt.Fprintf(os.Stderr, "wormlint: purity: %-42s %-6s (%d reachable, %d exemption(s), %d violation(s))\n",
+			cert.Entry, status, cert.ReachableFunctions, len(cert.Exemptions), len(cert.Violations))
+		for _, v := range cert.Violations {
+			fmt.Printf("%s:%d: [purity] %s (via %s)\n", v.File, v.Line, v.Detail, v.Witness)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wormlint: purity certificates written to %s (%s)\n", relPath(path), certs.Signature)
+	if violations > 0 {
 		os.Exit(1)
 	}
 }

@@ -636,7 +636,7 @@ func RunCached(cfg Config) (r Result, hit bool, err error) {
 // load order. Deadlocks are recorded in their Result rather than aborting
 // the sweep; any other error aborts.
 func Sweep(cfg Config, loads []float64) ([]Result, error) {
-	return SweepN(cfg, loads, runtime.GOMAXPROCS(0))
+	return SweepN(cfg, loads, runtime.GOMAXPROCS(0)) //lint:allow purity (worker count only sets parallelism; results are bit-identical at any width, test-pinned)
 }
 
 // SweepN is Sweep with an explicit worker count (minimum 1).

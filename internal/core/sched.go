@@ -48,7 +48,7 @@ func NewScheduler(workers int) *Scheduler {
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go s.worker(w)
+		go s.worker(w) //lint:allow purity (worker pool; completion order never escapes — results land by point index)
 	}
 	return s
 }

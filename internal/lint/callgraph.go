@@ -209,14 +209,14 @@ func (r *Reach) Chain(fn *types.Func, anchor *Package) string {
 // callees). lockscope uses it to mark functions that may block.
 func (g *CallGraph) PropagateUp(gen map[*types.Func]bool) map[*types.Func]bool {
 	in := make(map[*types.Func][]*types.Func)
-	for fn, callees := range g.Out { //lint:allow simdeterminism (fixpoint is order-independent)
+	for fn, callees := range g.Out {
 		for _, c := range callees {
 			in[c] = append(in[c], fn)
 		}
 	}
 	out := make(map[*types.Func]bool, len(gen))
 	var queue []*types.Func
-	for fn, v := range gen { //lint:allow simdeterminism (fixpoint is order-independent)
+	for fn, v := range gen {
 		if v && !out[fn] {
 			out[fn] = true
 			queue = append(queue, fn)

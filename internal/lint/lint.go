@@ -16,7 +16,14 @@
 //   - simdeterminism — the simulation core must be bit-reproducible from
 //     its seeds: no math/rand, no wall clock, no iteration over maps —
 //     enforced per target package and on everything reachable from the
-//     engine's cycle entry point, across packages.
+//     engine and result-serving entry points, across packages.
+//   - purity — the run entry points (core.Run, RunCached, Sweep,
+//     SweepReplicated) must be pure functions of their Config: an effect
+//     inference classifies every reachable function pure / read-only /
+//     impure, and every impurity is either fixed or an annotated exemption.
+//     CertifyPurity turns the result into machine-readable certificates
+//     (cmd/wormlint -certify-purity) — the theorem the run store's
+//     cache-hit contract rests on.
 //   - hotalloc — the engine's per-cycle call graph must stay allocation
 //     free: no make(map), map literals or closures reachable from Step,
 //     through cross-package calls and devirtualized interface calls.
@@ -36,6 +43,8 @@
 //     wrapped with %w.
 //   - lintdirective — //lint:allow directives must name registered passes
 //     (stale suppressions rot).
+//   - unusedallow — an //lint:allow directive that no longer suppresses
+//     any finding is itself a finding (and -fix deletes it).
 //
 // A finding can be suppressed where the flagged use is intentional by
 // annotating the line (or the line above it) with a directive:
@@ -97,12 +106,23 @@ type ProgramPass interface {
 	RunProgram(prog *Program) []Finding
 }
 
+// AfterPass is an analyzer that runs after every other selected pass in the
+// same Run call, so it can observe which //lint:allow directives the run
+// actually exercised. unusedallow is the only implementation: a directive is
+// only provably stale relative to the passes that ran, so ran carries the
+// names of this run's passes.
+type AfterPass interface {
+	Pass
+	RunAfter(prog *Program, ran map[string]bool) []Finding
+}
+
 // DefaultPasses returns the full suite in reporting order. The lintdirective
 // pass always knows every registered name, even when the caller later runs a
 // subset, so an //lint:allow for a deselected pass is never misreported.
 func DefaultPasses() []Pass {
 	passes := []Pass{
 		NewSimDeterminism(),
+		NewPurity(),
 		NewHotAlloc(),
 		NewHookGuard(),
 		NewAtomicDiscipline(),
@@ -112,12 +132,12 @@ func DefaultPasses() []Pass {
 		LoopCapture{},
 		ErrFmt{},
 	}
-	names := make([]string, 0, len(passes)+1)
+	names := make([]string, 0, len(passes)+2)
 	for _, p := range passes {
 		names = append(names, p.Name())
 	}
-	names = append(names, "lintdirective")
-	return append(passes, NewLintDirective(names))
+	names = append(names, "lintdirective", "unusedallow")
+	return append(passes, NewLintDirective(names), NewUnusedAllow(names))
 }
 
 // PassNames lists every registered pass name in reporting order.
@@ -150,7 +170,7 @@ func SelectPasses(spec string) ([]Pass, error) {
 	}
 	if len(want) > 0 {
 		var unknown []string
-		for name := range want { //lint:allow simdeterminism (sorted below)
+		for name := range want {
 			unknown = append(unknown, name)
 		}
 		sort.Strings(unknown)
@@ -169,9 +189,24 @@ func SelectPasses(spec string) ([]Pass, error) {
 func Run(pkgs []*Package, passes []Pass) []Finding {
 	prog := NewProgram(pkgs)
 	var out []Finding
+	ran := make(map[string]bool, len(passes))
+	keep := func(pass string, raw []Finding) {
+		for _, f := range raw {
+			if prog.Allowed(pass, f.Pos) {
+				// The directive earned its keep: record that for the
+				// unusedallow AfterPass.
+				prog.markUsed(pass, f.Pos)
+				continue
+			}
+			out = append(out, f)
+		}
+	}
 	for _, pass := range passes {
+		ran[pass.Name()] = true
 		var raw []Finding
 		switch pp := pass.(type) {
+		case AfterPass:
+			continue // deferred below, once every suppression is recorded
 		case ProgramPass:
 			raw = pp.RunProgram(prog)
 		case PackagePass:
@@ -179,11 +214,11 @@ func Run(pkgs []*Package, passes []Pass) []Finding {
 				raw = append(raw, pp.Run(p)...)
 			}
 		}
-		for _, f := range raw {
-			if prog.Allowed(pass.Name(), f.Pos) {
-				continue
-			}
-			out = append(out, f)
+		keep(pass.Name(), raw)
+	}
+	for _, pass := range passes {
+		if ap, ok := pass.(AfterPass); ok {
+			keep(pass.Name(), ap.RunAfter(prog, ran))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -214,8 +249,11 @@ type Package struct {
 	Info  *types.Info
 
 	allow map[allowKey]bool
-	// directives records every //lint:allow occurrence for the
-	// lintdirective pass.
+	// allowReason maps each suppression back to the free-text reason its
+	// directive gave, for the purity certificates' exemption records.
+	allowReason map[allowKey]string
+	// directives records every //lint:allow comment for the lintdirective
+	// and unusedallow passes.
 	directives []allowDirective
 }
 
@@ -225,10 +263,15 @@ type allowKey struct {
 	pass string
 }
 
-// allowDirective is one pass name mentioned by one //lint:allow comment.
+// allowDirective is one //lint:allow comment: its position and span, the
+// pass names it lists, the free-text reason, and the two source lines it
+// covers (its own line, and the line after its comment group).
 type allowDirective struct {
-	pos  token.Position
-	pass string
+	pos, end    token.Position
+	start, stop token.Pos
+	passes      []string
+	reason      string
+	cover       [2]int
 }
 
 // Allowed reports whether a //lint:allow directive suppresses pass findings
@@ -239,10 +282,12 @@ func (p *Package) Allowed(pass string, pos token.Position) bool {
 
 // collectAllows indexes every //lint:allow directive: a directive covers
 // its own line and, so that whole-line comments can annotate the statement
-// below them, the line immediately after the comment group. The raw
-// directive list is returned alongside for the lintdirective pass.
-func collectAllows(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, []allowDirective) {
+// below them, the line immediately after the comment group. The reason map
+// and raw directive list come back alongside for the purity certificates
+// and the lintdirective/unusedallow passes.
+func collectAllows(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, map[allowKey]string, []allowDirective) {
 	allow := make(map[allowKey]bool)
+	reasons := make(map[allowKey]string)
 	var directives []allowDirective
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -261,18 +306,34 @@ func collectAllows(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, [
 				}
 				pos := fset.Position(c.Pos())
 				endLine := fset.Position(cg.End()).Line
+				d := allowDirective{
+					pos:    pos,
+					end:    fset.Position(c.End()),
+					start:  c.Pos(),
+					stop:   c.End(),
+					reason: strings.Join(fields[1:], " "),
+					cover:  [2]int{pos.Line, endLine + 1},
+				}
 				for _, pass := range strings.Split(fields[0], ",") {
 					if pass == "" {
 						continue
 					}
-					directives = append(directives, allowDirective{pos: pos, pass: pass})
-					allow[allowKey{file: pos.Filename, line: pos.Line, pass: pass}] = true
-					allow[allowKey{file: pos.Filename, line: endLine + 1, pass: pass}] = true
+					d.passes = append(d.passes, pass)
+					for _, line := range d.cover {
+						k := allowKey{file: pos.Filename, line: line, pass: pass}
+						allow[k] = true
+						if _, ok := reasons[k]; !ok {
+							reasons[k] = d.reason
+						}
+					}
+				}
+				if len(d.passes) > 0 {
+					directives = append(directives, d)
 				}
 			}
 		}
 	}
-	return allow, directives
+	return allow, reasons, directives
 }
 
 // walkStack traverses root in source order, calling fn for every node with

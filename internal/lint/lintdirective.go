@@ -33,14 +33,16 @@ func (d *LintDirective) RunProgram(prog *Program) []Finding {
 	var out []Finding
 	for _, p := range prog.Pkgs {
 		for _, dir := range p.directives {
-			if d.known[dir.pass] {
-				continue
+			for _, pass := range dir.passes {
+				if d.known[pass] {
+					continue
+				}
+				out = append(out, Finding{
+					Pos:  dir.pos,
+					Pass: d.Name(),
+					Msg:  "unknown pass \"" + pass + "\" in //lint:allow directive; it suppresses nothing (run wormlint -list for the registry)",
+				})
 			}
-			out = append(out, Finding{
-				Pos:  dir.pos,
-				Pass: d.Name(),
-				Msg:  "unknown pass \"" + dir.pass + "\" in //lint:allow directive; it suppresses nothing (run wormlint -list for the registry)",
-			})
 		}
 	}
 	return out

@@ -127,7 +127,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		}
 	}
 	sorted := make([]string, 0, len(dirs))
-	for d := range dirs { //lint:allow simdeterminism (sorted below)
+	for d := range dirs {
 		sorted = append(sorted, d)
 	}
 	sort.Strings(sorted)
@@ -228,16 +228,17 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
 	}
 
-	allow, directives := collectAllows(l.Fset, files)
+	allow, reasons, directives := collectAllows(l.Fset, files)
 	p := &Package{
-		Path:       path,
-		Dir:        dir,
-		Fset:       l.Fset,
-		Files:      files,
-		Types:      tpkg,
-		Info:       info,
-		allow:      allow,
-		directives: directives,
+		Path:        path,
+		Dir:         dir,
+		Fset:        l.Fset,
+		Files:       files,
+		Types:       tpkg,
+		Info:        info,
+		allow:       allow,
+		allowReason: reasons,
+		directives:  directives,
 	}
 	l.pkgs[path] = p
 	return p, nil

@@ -49,7 +49,7 @@ func (*LockScope) Doc() string {
 func (l *LockScope) RunProgram(prog *Program) []Finding {
 	graph := prog.Graph()
 	gen := make(map[*types.Func]bool)
-	for fn, fd := range prog.decls { //lint:allow simdeterminism (building the gen set; order-free)
+	for fn, fd := range prog.decls {
 		if fd.Body == nil {
 			continue
 		}
@@ -229,14 +229,14 @@ func newScope() *scope {
 // clone snapshots held state for branch-local tracking.
 func (sc *scope) clone() *scope {
 	c := newScope()
-	for k, v := range sc.held { //lint:allow simdeterminism (set copy; order-free)
+	for k, v := range sc.held {
 		c.held[k] = v
 	}
-	for k, v := range sc.deferred { //lint:allow simdeterminism (set copy; order-free)
+	for k, v := range sc.deferred {
 		c.deferred[k] = v
 	}
-	c.unlocked = sc.unlocked       // shared accumulator
-	for k, v := range sc.lockPos { //lint:allow simdeterminism (set copy; order-free)
+	c.unlocked = sc.unlocked // shared accumulator
+	for k, v := range sc.lockPos {
 		c.lockPos[k] = v
 	}
 	return c
@@ -245,7 +245,7 @@ func (sc *scope) clone() *scope {
 // heldKeys lists the held mutexes sorted for deterministic messages.
 func (sc *scope) heldKeys() []string {
 	var keys []string
-	for k, v := range sc.held { //lint:allow simdeterminism (sorted below)
+	for k, v := range sc.held {
 		if v {
 			keys = append(keys, k)
 		}

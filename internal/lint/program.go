@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Program is the whole loaded module as one analysis unit: every package the
@@ -18,8 +19,12 @@ type Program struct {
 	declPkg map[*types.Func]*Package
 	byPath  map[string]*Package
 	allow   map[allowKey]bool
+	reason  map[allowKey]string
+	// used records which suppressions this Run exercised, for unusedallow.
+	used map[allowKey]bool
 
-	graph *CallGraph
+	graph   *CallGraph
+	effects map[*types.Func]*funcEffects
 }
 
 // NewProgram indexes the packages into one analysis unit.
@@ -30,12 +35,19 @@ func NewProgram(pkgs []*Package) *Program {
 		declPkg: make(map[*types.Func]*Package),
 		byPath:  make(map[string]*Package, len(pkgs)),
 		allow:   make(map[allowKey]bool),
+		reason:  make(map[allowKey]string),
+		used:    make(map[allowKey]bool),
 	}
 	for _, p := range pkgs {
 		prog.byPath[p.Path] = p
-		for k, v := range p.allow { //lint:allow simdeterminism (merging an index; order-free)
+		for k, v := range p.allow {
 			if v {
 				prog.allow[k] = true
+			}
+		}
+		for k, v := range p.allowReason {
+			if _, ok := prog.reason[k]; !ok {
+				prog.reason[k] = v
 			}
 		}
 		for _, f := range p.Files {
@@ -63,6 +75,37 @@ func (prog *Program) Allowed(pass string, pos token.Position) bool {
 	return prog.allow[allowKey{file: pos.Filename, line: pos.Line, pass: pass}]
 }
 
+// AllowReason returns the free-text reason of the directive suppressing pass
+// findings at pos, or "" when there is none.
+func (prog *Program) AllowReason(pass string, pos token.Position) string {
+	return prog.reason[allowKey{file: pos.Filename, line: pos.Line, pass: pass}]
+}
+
+// markUsed records that a directive covering (pass, pos) suppressed a real
+// finding in this Run.
+func (prog *Program) markUsed(pass string, pos token.Position) {
+	prog.used[allowKey{file: pos.Filename, line: pos.Line, pass: pass}] = true
+}
+
+// usedAt reports whether a suppression keyed (file, line, pass) fired.
+func (prog *Program) usedAt(file string, line int, pass string) bool {
+	return prog.used[allowKey{file: file, line: line, pass: pass}]
+}
+
+// modulePrefix is the leading path segment of the loaded packages ("wormsim"
+// for the real module), used to tell module functions apart from the
+// standard library when classifying call effects.
+func (prog *Program) modulePrefix() string {
+	if len(prog.Pkgs) == 0 {
+		return ""
+	}
+	path := prog.Pkgs[0].Path
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
 // Decl returns fn's declaration and owning package, or (nil, nil) for
 // functions without a loaded body (stdlib, interface methods).
 func (prog *Program) Decl(fn *types.Func) (*ast.FuncDecl, *Package) {
@@ -76,7 +119,7 @@ func (prog *Program) FindFunc(pkgPath, spec string) *types.Func {
 	if p == nil {
 		return nil
 	}
-	for fn, fd := range prog.decls { //lint:allow simdeterminism (first exact match; unique key)
+	for fn, fd := range prog.decls {
 		if prog.declPkg[fn] == p && funcDeclName(fd) == spec {
 			return fn
 		}

@@ -21,10 +21,10 @@ import (
 //
 // in two scopes: everywhere inside the target packages (the declared
 // simulation core), and — via the program call graph — inside any function
-// in any package reachable from the engine's cycle entry point, including
-// through devirtualized interface calls. A helper in an untargeted package
-// becomes part of the determinism contract the moment the engine can reach
-// it.
+// in any package reachable from the root entry points (the engine's cycle
+// step, and the observatory's result-serving handlers), including through
+// devirtualized interface calls. A helper in an untargeted package becomes
+// part of the determinism contract the moment a root can reach it.
 //
 // Intentional uses — order-independent reductions over maps, telemetry
 // wall-clock reads behind an injected clock — are annotated in place with
@@ -32,19 +32,21 @@ import (
 type SimDeterminism struct {
 	// Targets are the import paths the pass applies to in full; a path
 	// matches exactly. Packages outside the simulation core (CLIs, rng
-	// itself, telemetry) are free to use the clock except where the engine
-	// reaches them.
+	// itself) are free to use the clock except where a root reaches them.
 	Targets []string
-	// RootPkg/Root name the engine entry point for the reachability scope;
-	// empty disables it (single-package fixture runs).
-	RootPkg string
-	Root    string
+	// Roots name the entry points for the reachability scope; empty
+	// disables it (single-package fixture runs). All roots feed one
+	// reachability query, so a function reachable from any of them is in
+	// scope.
+	Roots []FuncRef
 }
 
 // NewSimDeterminism targets the simulation-core packages named in the
 // determinism contract — everything that runs between a Config and a Result
-// — and roots the reachability scope at the engine's cycle entry point.
+// — plus the figure/SVG renderers, and roots the reachability scope at the
+// engine's cycle entry point and the observatory's result-serving handlers.
 func NewSimDeterminism() *SimDeterminism {
+	const observatory = "wormsim/internal/observatory"
 	return &SimDeterminism{
 		Targets: []string{
 			"wormsim/internal/network",
@@ -63,9 +65,21 @@ func NewSimDeterminism() *SimDeterminism {
 			// read the clock or ranged a map would break the bit-identical
 			// warm-rerun guarantee, so the whole package is in scope.
 			"wormsim/internal/runstore",
+			// viz renders the paper's figures and the comparison overlays;
+			// a nondeterministic renderer would defeat the golden-SVG tests
+			// and make identical runs paint different pictures.
+			"wormsim/internal/viz",
 		},
-		RootPkg: "wormsim/internal/network",
-		Root:    "(*Network).Step",
+		Roots: []FuncRef{
+			{Pkg: "wormsim/internal/network", Func: "(*Network).Step"},
+			// The observatory's result-serving paths: what a client reads
+			// from /api/runs, /api/compare and /compare.svg must be a
+			// deterministic function of the stored results.
+			{Pkg: observatory, Func: "(*API).handleRuns"},
+			{Pkg: observatory, Func: "(*API).handleRun"},
+			{Pkg: observatory, Func: "(*API).handleCompare"},
+			{Pkg: observatory, Func: "(*API).handleCompareSVG"},
+		},
 	}
 }
 
@@ -78,7 +92,7 @@ func (*SimDeterminism) Doc() string {
 }
 
 // RunProgram reports determinism violations in targeted packages and in
-// functions reachable from the engine entry point.
+// functions reachable from the root entry points.
 func (s *SimDeterminism) RunProgram(prog *Program) []Finding {
 	var out []Finding
 	for _, p := range prog.Pkgs {
@@ -87,16 +101,24 @@ func (s *SimDeterminism) RunProgram(prog *Program) []Finding {
 		}
 	}
 
-	if s.RootPkg == "" || prog.Package(s.RootPkg) == nil {
+	var roots []*types.Func
+	for _, ref := range s.Roots {
+		target := prog.Package(ref.Pkg)
+		if target == nil {
+			continue // single-package run: this root's package is not loaded
+		}
+		root := prog.FindFunc(ref.Pkg, ref.Func)
+		if root == nil {
+			out = append(out, target.finding(s.Name(), target.Files[0],
+				"determinism root %s not found in %s; update the pass configuration", ref.Func, ref.Pkg))
+			continue
+		}
+		roots = append(roots, root)
+	}
+	if len(roots) == 0 {
 		return out
 	}
-	root := prog.FindFunc(s.RootPkg, s.Root)
-	if root == nil {
-		target := prog.Package(s.RootPkg)
-		return append(out, target.finding(s.Name(), target.Files[0],
-			"determinism root %s not found in %s; update the pass configuration", s.Root, s.RootPkg))
-	}
-	reach := prog.Graph().ReachableFrom(root)
+	reach := prog.Graph().ReachableFrom(roots...)
 	for _, p := range prog.Pkgs {
 		if s.targets(p.Path) {
 			continue // already checked in full above

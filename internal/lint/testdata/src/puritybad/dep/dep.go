@@ -1,0 +1,10 @@
+// Package dep hides an impurity behind a cross-package call, so the purity
+// finding's witness chain must span packages.
+package dep
+
+import "time"
+
+// Leak reads the wall clock one package away from the entry point.
+func Leak() int {
+	return int(time.Now().UnixNano()) // WANT purity
+}

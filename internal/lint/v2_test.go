@@ -107,7 +107,7 @@ func TestCrossPackageHotAlloc(t *testing.T) {
 // wall-clock read in an untargeted package the engine reaches.
 func TestCrossPackageSimDeterminism(t *testing.T) {
 	pkgs := loadFixtures(t, "xleak", "xleak/dep")
-	checkFixtureMulti(t, pkgs, &SimDeterminism{RootPkg: pkgs[0].Path, Root: "(*Engine).Step"})
+	checkFixtureMulti(t, pkgs, &SimDeterminism{Roots: []FuncRef{{Pkg: pkgs[0].Path, Func: "(*Engine).Step"}}})
 }
 
 // TestWitnessChain: cross-package findings must explain how the engine
@@ -142,7 +142,7 @@ func TestWitnessChain(t *testing.T) {
 // observe the clock.
 func TestStoreCacheSimDeterminism(t *testing.T) {
 	pkgs := loadFixtures(t, "storecache", "storecache/store")
-	checkFixtureMulti(t, pkgs, &SimDeterminism{RootPkg: pkgs[0].Path, Root: "Sweep"})
+	checkFixtureMulti(t, pkgs, &SimDeterminism{Roots: []FuncRef{{Pkg: pkgs[0].Path, Func: "Sweep"}}})
 }
 
 func TestAtomicDisciplineFixture(t *testing.T) {

@@ -162,7 +162,7 @@ func (a *API) settle(hash string, final runStatus) {
 	}
 	delete(a.pending, hash)
 	frame := sseMessage("status", final)
-	for ch := range st.subs {
+	for ch := range st.subs { //lint:allow simdeterminism (fan-out; per-subscriber delivery stays FIFO via the channel)
 		select {
 		case ch <- frame:
 		default: // slow client: it still observes completion via the close
@@ -174,7 +174,7 @@ func (a *API) settle(hash string, final runStatus) {
 
 // broadcast fans frame out to subscribers, dropping for any full buffer.
 func broadcast(subs map[chan []byte]struct{}, frame []byte) {
-	for ch := range subs {
+	for ch := range subs { //lint:allow simdeterminism (fan-out; per-subscriber delivery stays FIFO via the channel)
 		select {
 		case ch <- frame:
 		default:

@@ -198,7 +198,7 @@ func (p *Publisher) Subscribe() (frames <-chan []byte, cancel func()) {
 // broadcastLocked fans a frame out to every subscriber, dropping it for any
 // whose buffer is full. Callers hold p.mu.
 func (p *Publisher) broadcastLocked(frame []byte) {
-	for ch := range p.subs { // map order is fine: per-subscriber delivery stays FIFO via the channel
+	for ch := range p.subs { //lint:allow simdeterminism (fan-out; per-subscriber delivery stays FIFO via the channel)
 		select {
 		case ch <- frame:
 		default: // slow client: drop rather than stall the simulation side

@@ -112,7 +112,7 @@ func Get(name string) (Algorithm, error) {
 // Names lists the registered algorithm names in sorted order.
 func Names() []string {
 	names := make([]string, 0, len(registry))
-	for n := range registry { //lint:allow simdeterminism (collected then sorted)
+	for n := range registry { //lint:allow simdeterminism,purity (collected then sorted)
 		names = append(names, n)
 	}
 	sort.Strings(names)

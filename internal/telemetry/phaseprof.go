@@ -119,7 +119,7 @@ func (t *PhaseTimer) Begin() {
 	}
 	t.countdown = t.pp.stride - 1
 	t.sampling = true
-	t.pp.cycles.Add(t.pending)
+	t.pp.cycles.Add(t.pending) //lint:allow purity (observe-only profile accumulator; results never read it)
 	t.pending = 0
 	t.last = t.pp.now()
 }
@@ -131,7 +131,7 @@ func (t *PhaseTimer) Mark(p Phase) {
 		return
 	}
 	now := t.pp.now()
-	t.pp.nanos[p].Add((now - t.last) * t.pp.stride)
+	t.pp.nanos[p].Add((now - t.last) * t.pp.stride) //lint:allow purity (observe-only profile accumulator; results never read it)
 	t.last = now
 }
 

@@ -29,7 +29,7 @@ type Progress struct {
 func NewProgress(w io.Writer, label string, total int) *Progress {
 	// The ETA display genuinely wants the wall clock; it never feeds
 	// simulation state, and tests swap the clock out.
-	p := &Progress{w: w, label: label, total: total, now: time.Now} //lint:allow simdeterminism (injected clock, display only)
+	p := &Progress{w: w, label: label, total: total, now: time.Now}
 	p.start = p.now()
 	return p
 }
