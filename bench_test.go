@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"wormsim/internal/core"
+	"wormsim/internal/forensics"
 	"wormsim/internal/network"
 	"wormsim/internal/routing"
 	"wormsim/internal/telemetry"
@@ -262,6 +263,52 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			n, err := network.New(network.Config{
 				Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, CCLimit: 2, Seed: 1,
 				Telemetry: tel,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := n.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			moves := n.Total().FlitMoves
+			b.ReportMetric(float64(moves)/float64(b.N), "flits/cycle")
+		})
+	}
+}
+
+// BenchmarkForensicsOverhead measures the per-cycle cost of congestion
+// forensics on a 16x16 torus at a load heavy enough that worms block: "off"
+// is the disabled path (nil analyzer — one predictable branch per hook),
+// "sampled" the default 1-in-64 wait-for sampling (documented to stay within
+// 5% of off), and "every" the exact every-cycle attribution the acceptance
+// tests use.
+func BenchmarkForensicsOverhead(b *testing.B) {
+	variants := []struct {
+		name        string
+		sampleEvery int64
+	}{
+		{"off", 0},
+		{"sampled", forensics.DefaultSampleEvery},
+		{"every", 1},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			g := topology.NewTorus(16, 2)
+			alg, err := routing.Get("nbc")
+			if err != nil {
+				b.Fatal(err)
+			}
+			var fore *forensics.Analyzer
+			if v.sampleEvery > 0 {
+				fore = forensics.New(forensics.Options{SampleEvery: v.sampleEvery}, g.ChannelSlots())
+			}
+			wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.03, 1)
+			n, err := network.New(network.Config{
+				Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, CCLimit: 2, Seed: 1,
+				Forensics: fore,
 			})
 			if err != nil {
 				b.Fatal(err)

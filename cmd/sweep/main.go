@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"wormsim/internal/core"
+	"wormsim/internal/forensics"
 	"wormsim/internal/observatory"
 	"wormsim/internal/routing"
 	"wormsim/internal/runstore"
@@ -45,6 +46,8 @@ func main() {
 	flag.Int64Var(&cfg.SampleCycles, "sample", 0, "cycles per sample")
 	flag.IntVar(&cfg.MaxSamples, "maxsamples", 0, "max sampling periods")
 	metrics := flag.Bool("metrics", false, "collect telemetry; prints a per-point summary on stderr (json format embeds the full summary)")
+	fore := flag.Bool("forensics", false, "congestion forensics per point; prints blame attribution on stderr (json format embeds the full summary)")
+	foreEvery := flag.Int64("forensics-every", 0, "forensics sampling period in cycles (default 64; implies -forensics)")
 	tracePrefix := flag.String("trace", "", "write a Chrome trace per point to PREFIX-<alg>-<load>.json")
 	progress := flag.Bool("progress", false, "live sweep progress with ETA on stderr")
 	httpAddr := flag.String("http", "", "serve the live observatory (Prometheus /metrics, /snapshot, SSE /events, /heatmap, pprof, /api/runs) on this address, e.g. :8080")
@@ -55,6 +58,9 @@ func main() {
 	cfg.Seed = *seed
 	if *metrics || *tracePrefix != "" {
 		cfg.Telemetry = &telemetry.Options{Metrics: *metrics, Trace: *tracePrefix != ""}
+	}
+	if *fore || *foreEvery > 0 {
+		cfg.Forensics = &forensics.Options{SampleEvery: *foreEvery}
 	}
 
 	loads, err := core.ParseLoads(*loadSpec)
@@ -179,6 +185,15 @@ func main() {
 				note("# %s rho=%.2f: max ch util %.1f%% (ch %d), head-blocked %d, inj backlog mean %.2f, drops %d\n",
 					r.Algorithm, r.OfferedLoad, 100*r.Telemetry.ChannelUtilization(top), top,
 					r.Telemetry.TotalHeadBlocked(), r.Telemetry.InjQueueMean, r.Telemetry.Drops)
+			}
+			if cfg.Forensics != nil && r.Forensics != nil {
+				f := r.Forensics
+				blame := "no head-blocked worms"
+				if top := f.TopRoots(1); len(top) > 0 {
+					blame = fmt.Sprintf("top root ch %d carries %.1f%% of %d blamed worm-cycles (%.1f%% attributed)",
+						top[0].Ch, 100*top[0].Share, f.BlockedObserved, 100*f.AttributedFraction())
+				}
+				note("# %s rho=%.2f: %s, %d wait-for cycles\n", r.Algorithm, r.OfferedLoad, blame, f.WaitCycles)
 			}
 			if *tracePrefix != "" {
 				path := fmt.Sprintf("%s-%s-%.2f.json", *tracePrefix, r.Algorithm, r.OfferedLoad)

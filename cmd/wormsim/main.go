@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 
 	"wormsim/internal/analysis"
 	"wormsim/internal/core"
+	"wormsim/internal/forensics"
 	"wormsim/internal/observatory"
 	"wormsim/internal/routing"
 	"wormsim/internal/runstore"
@@ -53,6 +55,9 @@ func main() {
 	flag.IntVar(&cfg.MaxSamples, "maxsamples", 0, "maximum sampling periods (default 12)")
 	verbose := flag.Bool("v", false, "print per-hop-class latencies and VC load balance")
 	metrics := flag.Bool("metrics", false, "collect and print telemetry: per-channel utilization, head-blocked cycles, VC occupancy")
+	fore := flag.Bool("forensics", false, "congestion forensics: sampled wait-for graphs, root-cause blame attribution and per-worm latency anatomy")
+	foreEvery := flag.Int64("forensics-every", 0, "forensics sampling period in cycles (default 64; 1 samples every cycle; implies -forensics)")
+	blameOut := flag.String("blameout", "", "write the forensics summary to PREFIX.json and the blame heatmap to PREFIX.svg (implies -forensics)")
 	tracePath := flag.String("trace", "", "write a worm lifecycle trace to this file (Chrome trace_event JSON for chrome://tracing)")
 	traceFormat := flag.String("traceformat", "chrome", "trace file format: chrome or jsonl")
 	traceSample := flag.Int64("tracesample", 1, "trace every Nth worm")
@@ -134,6 +139,17 @@ func main() {
 			opts.SampleEvery = *traceSample
 		}
 		cfg.Telemetry = &opts
+	}
+	// Forensics flags likewise augment the config file's request.
+	if *fore || *foreEvery > 0 || *blameOut != "" {
+		opts := forensics.Options{}
+		if cfg.Forensics != nil {
+			opts = *cfg.Forensics
+		}
+		if *foreEvery > 0 {
+			opts.SampleEvery = *foreEvery
+		}
+		cfg.Forensics = &opts
 	}
 	if *saveConfig != "" {
 		if err := cfg.Save(*saveConfig); err != nil {
@@ -262,6 +278,20 @@ func main() {
 			printTelemetry(cfg.Grid(), res.Telemetry)
 		}
 	}
+	if cfg.Forensics != nil {
+		if res.Forensics == nil {
+			fmt.Fprintln(os.Stderr, "wormsim: -forensics: nothing collected (saf switching has no virtual channels)")
+		} else {
+			printForensics(cfg.Grid(), res.Forensics)
+		}
+	}
+	if *blameOut != "" && res.Forensics != nil {
+		if werr := writeBlame(*blameOut, cfg, res.Forensics); werr != nil {
+			fmt.Fprintf(os.Stderr, "wormsim: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote blame summary to %s.json and heatmap to %s.svg\n", *blameOut, *blameOut)
+	}
 	if *tracePath != "" {
 		if werr := writeTrace(*tracePath, *traceFormat, res.TraceEvents); werr != nil {
 			fmt.Fprintf(os.Stderr, "wormsim: %v\n", werr)
@@ -311,6 +341,49 @@ func printTelemetry(g *topology.Grid, s *telemetry.Summary) {
 	if s.TraceEvents > 0 || s.TraceEvicted > 0 {
 		fmt.Printf("  trace: %d events retained, %d evicted\n", s.TraceEvents, s.TraceEvicted)
 	}
+}
+
+// printForensics renders the blame and latency-anatomy report, then labels
+// the top root channels with their topology endpoints (the view that turns
+// "ch 217" into "the channel feeding the hot node").
+func printForensics(g *topology.Grid, f *forensics.Summary) {
+	fmt.Printf("\n%s", f.RenderString())
+	roots := f.TopRoots(4)
+	if len(roots) == 0 {
+		return
+	}
+	fmt.Println("  top roots on the topology:")
+	for _, r := range roots {
+		up, dim, dir := g.ChannelInfo(r.Ch)
+		down := "edge"
+		if d := g.Neighbor(up, dim, dir); d >= 0 {
+			down = nodeName(g, d)
+		}
+		fmt.Printf("    ch %4d  %s d%d%v -> %-8s %5.1f%% of blame\n",
+			r.Ch, nodeName(g, up), dim, dir, down, 100*r.Share)
+	}
+}
+
+// writeBlame exports the forensics summary as prefix.json plus the blame
+// heatmap as prefix.svg — the same artifacts the observatory's /blame and
+// /blame.svg serve live, in a form CI can archive.
+func writeBlame(prefix string, cfg core.Config, f *forensics.Summary) error {
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(prefix+".json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	top := f.TopRoots(4)
+	rootChs := make([]int, len(top))
+	for i, r := range top {
+		rootChs[i] = r.Ch
+	}
+	title := fmt.Sprintf("%s %s rho=%.2f — blame (every %d)",
+		cfg.Algorithm, cfg.Pattern, cfg.OfferedLoad, f.SampleEvery)
+	svg := viz.BlameSVG(cfg.Grid(), f.BlameByChannel, rootChs, title)
+	return os.WriteFile(prefix+".svg", []byte(svg), 0o644)
 }
 
 // nodeName renders a node as its coordinate tuple, e.g. "(3,3)".

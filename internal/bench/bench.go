@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"wormsim/internal/core"
+	"wormsim/internal/forensics"
 	"wormsim/internal/network"
 	"wormsim/internal/routing"
 	"wormsim/internal/telemetry"
@@ -142,6 +143,49 @@ func pointSpec(name string, cfg core.Config) Spec {
 	}}
 }
 
+// forensicsSpec measures the engine cost of congestion forensics at one
+// sampling period: ns per cycle of an nbc torus pushed hard enough that
+// worms actually block (so the wait-for sampler has real work), with
+// sampleEvery 0 meaning no analyzer attached at all — the in-family baseline
+// the off : sampled : every comparison reads against. The <5% budget applies
+// to forensics/sampled relative to forensics/off.
+func forensicsSpec(variant string, k int, sampleEvery int64) Spec {
+	name := "forensics/" + variant
+	return Spec{Name: name, Run: func() Measurement {
+		var flitsPerCycle float64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			g := topology.NewTorus(k, 2)
+			a, err := routing.Get("nbc")
+			if err != nil {
+				b.Fatal(err)
+			}
+			wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.03, 1)
+			cfg := network.Config{
+				Grid: g, Algorithm: a, Workload: wl, MsgLen: 16, CCLimit: 2, Seed: 1,
+			}
+			if sampleEvery > 0 {
+				cfg.Forensics = forensics.New(forensics.Options{SampleEvery: sampleEvery}, g.ChannelSlots())
+			}
+			n, err := network.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := n.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			flitsPerCycle = float64(n.Total().FlitMoves) / float64(b.N)
+		})
+		m := fromResult(name, r)
+		m.CyclesPerSec = perSec(1, m.NsPerOp)
+		m.FlitHopsPerSec = perSec(flitsPerCycle, m.NsPerOp)
+		return m
+	}}
+}
+
 // sweepScaleSpec measures the work-stealing run scheduler: wall time of one
 // fixed multi-load sweep at the given worker count, with GOMAXPROCS pinned
 // to four for the duration so the 1-worker and 4-worker entries are
@@ -255,6 +299,11 @@ func Specs(short bool) []Spec {
 	point("point/fig3/ecube/rho=0.6", "ecube", "uniform", core.Wormhole, 0.6)
 	point("point/fig4/nbc/rho=0.3", "nbc", "hotspot", core.Wormhole, 0.3)
 	point("point/vct/2pn/rho=0.6", "2pn", "uniform", core.CutThrough, 0.6)
+	specs = append(specs,
+		forensicsSpec("off", k, 0),
+		forensicsSpec("sampled", k, forensics.DefaultSampleEvery),
+		forensicsSpec("every", k, 1),
+	)
 	specs = append(specs, sweepScaleSpec(short, 1), sweepScaleSpec(short, 4))
 	return specs
 }

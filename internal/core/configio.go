@@ -45,6 +45,14 @@ func (c Config) Canonical() Config {
 		t := *c.Telemetry
 		c.Telemetry = &t
 	}
+	if c.Forensics != nil {
+		// Same contract as Telemetry: a non-nil analyzer fills
+		// Result.Forensics, so nil-ness stays hash-significant; configs
+		// without forensics keep their pre-forensics hashes (the field
+		// marshals as omitempty).
+		f := *c.Forensics
+		c.Forensics = &f
+	}
 	return c
 }
 

@@ -10,6 +10,7 @@ import (
 	"math"
 	"runtime"
 
+	"wormsim/internal/forensics"
 	"wormsim/internal/message"
 	"wormsim/internal/network"
 	"wormsim/internal/routing"
@@ -93,6 +94,13 @@ type Config struct {
 	// builds its own collector from these options, so a shared Config stays
 	// safe for parallel sweeps.
 	Telemetry *telemetry.Options `json:",omitempty"`
+	// Forensics, when set, attaches the congestion forensics analyzer —
+	// sampled wait-for graphs, root-cause blame attribution and per-worm
+	// latency anatomy — and fills Result.Forensics (wormhole and vct
+	// engines only). Like Telemetry, each Run builds its own analyzer from
+	// these options, and attaching one is bit-identical to not
+	// (TestForensicsRunIsBitIdentical).
+	Forensics *forensics.Options `json:",omitempty"`
 	// OnSample, if set, is called after every completed sampling period —
 	// the live-progress hook behind the CLIs' -progress flag. Not part of
 	// the persisted config.
@@ -158,6 +166,8 @@ type TickEvent struct {
 	ChannelFlits []int64
 	// Telemetry is the collector summary when Config.Telemetry is set.
 	Telemetry *telemetry.Summary
+	// Forensics is the analyzer summary when Config.Forensics is set.
+	Forensics *forensics.Summary
 	// Events holds the lifecycle events recorded since the previous tick
 	// (bounded to the most recent 64), when tracing is on.
 	Events []telemetry.Event
@@ -309,6 +319,10 @@ type Result struct {
 	// Telemetry aggregates the run's collector when Config.Telemetry was
 	// set: per-channel utilization, head-blocked cycles, occupancy gauges.
 	Telemetry *telemetry.Summary `json:",omitempty"`
+	// Forensics aggregates the run's congestion forensics when
+	// Config.Forensics was set: blame mass per channel, congestion-tree
+	// shapes, wait-for cycle witnesses and per-class latency anatomy.
+	Forensics *forensics.Summary `json:",omitempty"`
 	// TraceEvents is the retained lifecycle trace (Config.Telemetry.Trace);
 	// kept out of JSON — export with telemetry.WriteChromeTrace or
 	// telemetry.WriteJSONL.
@@ -409,6 +423,10 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Telemetry != nil && cfg.Switching != StoreFwd {
 		tel = telemetry.New(*cfg.Telemetry, g.ChannelSlots(), alg.NumVCs(g))
 	}
+	var fore *forensics.Analyzer
+	if cfg.Forensics != nil && cfg.Switching != StoreFwd {
+		fore = forensics.New(*cfg.Forensics, g.ChannelSlots())
+	}
 	switch cfg.Switching {
 	case Wormhole, CutThrough:
 		wn, err = network.New(network.Config{
@@ -416,6 +434,7 @@ func Run(cfg Config) (Result, error) {
 			MsgLen: cfg.MsgLen, BufDepth: cfg.BufDepth, CCLimit: cfg.CCLimit,
 			InjectionPorts: cfg.InjectionPorts, RouteDelay: cfg.RouteDelay,
 			Seed: cfg.Seed, OnDeliver: onDeliver, Telemetry: tel, Phases: cfg.PhaseProf,
+			Forensics: fore,
 		})
 		if err != nil {
 			return res, err
@@ -454,6 +473,9 @@ func Run(cfg Config) (Result, error) {
 			Worms:        wn.WormStates(),
 			ChannelFlits: wn.ChannelFlitCounts(),
 			Final:        final,
+		}
+		if fore != nil {
+			ev.Forensics = fore.Summary()
 		}
 		if tel != nil {
 			ev.Telemetry = tel.Summary()
@@ -522,6 +544,9 @@ func Run(cfg Config) (Result, error) {
 		if tel != nil {
 			res.Telemetry = tel.Summary()
 			res.TraceEvents = tel.Events()
+		}
+		if fore != nil {
+			res.Forensics = fore.Summary()
 		}
 		if tickGap > 0 {
 			emitTick(true)

@@ -52,6 +52,12 @@ func NewHookGuard() *HookGuard {
 			TypePath: "wormsim/internal/observatory",
 			TypeName: "Publisher",
 		},
+		{
+			// The congestion forensics analyzer is nil whenever forensics is
+			// off; the engine touches it on the inject/allocate hot path.
+			TypePath: "wormsim/internal/forensics",
+			TypeName: "Analyzer",
+		},
 	}}
 }
 

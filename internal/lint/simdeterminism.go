@@ -69,6 +69,10 @@ func NewSimDeterminism() *SimDeterminism {
 			// a nondeterministic renderer would defeat the golden-SVG tests
 			// and make identical runs paint different pictures.
 			"wormsim/internal/viz",
+			// forensics runs inside the engine's cycle loop and its summary
+			// is golden-pinned; blame attribution must be a pure function of
+			// the run.
+			"wormsim/internal/forensics",
 		},
 		Roots: []FuncRef{
 			{Pkg: "wormsim/internal/network", Func: "(*Network).Step"},

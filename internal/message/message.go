@@ -58,6 +58,14 @@ type Message struct {
 	// (sec. 3 of the paper: VC-number based for hop schemes and 2pn,
 	// intended-first-VC based for e-cube and north-last).
 	Class int
+
+	// FirstAlloc is the cycle the header first acquired a first-hop virtual
+	// channel (GenTime until then), and HeadStalls counts cycles the header
+	// bid for an output virtual channel at an intermediate node and lost —
+	// the raw inputs of the forensics latency anatomy. Maintained by the
+	// network engine; never read by routing, so they cannot affect results.
+	FirstAlloc int64
+	HeadStalls int32
 }
 
 // New creates a message from src to dst with the given length, resolving
@@ -83,6 +91,8 @@ func (m *Message) reset(g *topology.Grid, id int64, src, dst, length int, genTim
 	m.Len = length
 	m.GenTime = genTime
 	m.DeliverTime = -1
+	m.FirstAlloc = genTime
+	m.HeadStalls = 0
 	m.HopsTotal = 0
 	m.HopsTaken = 0
 	m.NegHops = 0

@@ -1,0 +1,92 @@
+package network
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"wormsim/internal/forensics"
+	"wormsim/internal/routing"
+	"wormsim/internal/topology"
+	"wormsim/internal/traffic"
+)
+
+// TestForensicsSteadyStateZeroAlloc: the zero-alloc steady-state guarantee
+// holds with an every-cycle forensics analyzer attached — wait-for capture,
+// blame resolution and latency anatomy all run out of preallocated scratch.
+func TestForensicsSteadyStateZeroAlloc(t *testing.T) {
+	for _, algName := range []string{"ecube", "nbc"} {
+		g := topology.NewTorus(8, 2)
+		alg, err := routing.Get(algName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.03, 7)
+		fore := forensics.New(forensics.Options{SampleEvery: 1}, g.ChannelSlots())
+		n, err := New(Config{
+			Grid: g, Algorithm: alg, Workload: wl, MsgLen: 16, CCLimit: 2, Seed: 7,
+			Forensics: fore,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Run(3000); err != nil {
+			t.Fatal(err)
+		}
+		if fore.Summary().BlockedObserved == 0 {
+			t.Fatalf("%s: warmup saw no blocking; the test exercises nothing", algName)
+		}
+		avg := testing.AllocsPerRun(2000, func() {
+			if err := n.Step(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("%s: %.3f allocs per steady-state cycle with forensics, want 0", algName, avg)
+		}
+	}
+}
+
+// TestWatchdogBlameLeadsDiagnostics: with forensics attached, a genuine
+// channel-dependency deadlock must surface the blame root and the wait-for
+// cycle witness as the first lines of the DeadlockError — causality before
+// the raw stuck-worm dump.
+func TestWatchdogBlameLeadsDiagnostics(t *testing.T) {
+	g := topology.NewTorus(8, 1)
+	var cycles []int64
+	var arrs []traffic.Arrival
+	for src := 0; src < 8; src++ {
+		cycles = append(cycles, 0)
+		arrs = append(arrs, traffic.Arrival{Src: src, Dst: (src + 2) % 8})
+	}
+	wl := traffic.NewTrace(g, "cycle", cycles, arrs)
+	fore := forensics.New(forensics.Options{SampleEvery: 1}, g.ChannelSlots())
+	n, err := New(Config{
+		Grid: g, Algorithm: cyclicAlg{}, Workload: wl, MsgLen: 16,
+		BufDepth: 1, Seed: 1, WatchdogCycles: 200,
+		Forensics: fore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Step(); err != nil {
+		t.Fatal(err)
+	}
+	err = n.Drain(5000)
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("expected a DeadlockError, got %v", err)
+	}
+	if dl.Blame == "" {
+		t.Fatal("forensics attached but DeadlockError.Blame empty")
+	}
+	if !strings.HasPrefix(dl.Detail, dl.Blame) {
+		t.Error("blame report is not the first diagnostic line of Detail")
+	}
+	if !strings.Contains(dl.Blame, "wait-for cycle") {
+		t.Errorf("a true channel-dependency deadlock must yield a cycle witness:\n%s", dl.Blame)
+	}
+	if s := fore.Summary(); s.WaitCycles == 0 || len(s.LastWaitCycle) == 0 {
+		t.Errorf("summary carries no wait-for cycle: %+v", s)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"fmt"
 
 	"wormsim/internal/congestion"
+	"wormsim/internal/forensics"
 	"wormsim/internal/message"
 	"wormsim/internal/rng"
 	"wormsim/internal/routing"
@@ -126,6 +127,12 @@ type Config struct {
 	// wormsim_phase_seconds_total metric. Like Telemetry, nil costs one
 	// branch per hook and an attached profiler never alters results.
 	Phases *telemetry.PhaseProfiler
+	// Forensics, if set, receives sampled wait-for graph captures and
+	// per-worm latency anatomy (forensics.New with the grid's channel
+	// slots). Like Telemetry, nil costs one branch per hook, the analyzer
+	// consumes no random draws, and an attached analyzer is bit-identical to
+	// a detached one.
+	Forensics *forensics.Analyzer
 }
 
 // outRoute is the output allocation of a routed header: the output physical
@@ -190,7 +197,11 @@ type Network struct {
 	rt      *rng.Stream
 	tel     *telemetry.Collector
 	prof    *telemetry.PhaseTimer
-	pool    *message.Pool
+	fore    *forensics.Analyzer
+	// foreSampling caches StartCycle's verdict for the current cycle so the
+	// allocation loop tests a bool instead of re-deriving the sample phase.
+	foreSampling bool
+	pool         *message.Pool
 	// tieFn is the half-ring tie-break passed to the message pool — a method
 	// value bound once here so inject closes over nothing per call.
 	tieFn func(int) bool
@@ -305,6 +316,7 @@ func New(cfg Config) (*Network, error) {
 		rt:      rng.NewStream(cfg.Seed, 0x90f7),
 		tel:     cfg.Telemetry,
 		prof:    cfg.Phases.Timer(),
+		fore:    cfg.Forensics,
 		pool:    cfg.MsgPool,
 	}
 	if n.pool == nil {
@@ -316,6 +328,11 @@ func New(cfg Config) (*Network, error) {
 		if chs, classes := n.tel.Dims(); chs != slots || classes != n.numVCs {
 			return nil, fmt.Errorf("network: telemetry collector sized for %d channels / %d classes, need %d / %d",
 				chs, classes, slots, n.numVCs)
+		}
+	}
+	if n.fore != nil {
+		if chs := n.fore.Channels(); chs != slots {
+			return nil, fmt.Errorf("network: forensics analyzer sized for %d channels, need %d", chs, slots)
 		}
 	}
 	n.tbl = buildChanTable(g)
@@ -429,6 +446,10 @@ type DeadlockError struct {
 	Cycle    int64
 	InFlight int
 	Detail   string
+	// Blame is the forensics stall report (dominant congestion-tree root
+	// and wait-for cycle witness) when an analyzer was attached — also the
+	// first lines of Detail.
+	Blame string
 	// Trace holds the most recent lifecycle events when telemetry tracing
 	// was enabled — the flight recorder of the cycles leading into the
 	// stall (also rendered into Detail).
@@ -450,11 +471,18 @@ func (n *Network) Step() error {
 	if n.prof != nil {
 		n.prof.Begin()
 	}
+	if n.fore != nil {
+		n.foreSampling = n.fore.StartCycle(n.now)
+	}
 	n.inject()
 	if n.prof != nil {
 		n.prof.Mark(telemetry.PhaseInject)
 	}
 	n.allocate()
+	if n.fore != nil && n.foreSampling {
+		// Resolve within the cycle, while the captured slot ids are live.
+		n.fore.Resolve(n.now)
+	}
 	if n.prof != nil {
 		n.prof.Mark(telemetry.PhaseRoute)
 	}
@@ -472,6 +500,14 @@ func (n *Network) Step() error {
 	}
 	if n.cfg.WatchdogCycles > 0 && n.inFlight > 0 && n.now-n.lastMotion > n.cfg.WatchdogCycles {
 		err := &DeadlockError{Cycle: n.now - n.lastMotion, InFlight: n.inFlight, Detail: n.describeStuck(8)}
+		if n.fore != nil {
+			// Lead with causality: the blame root and any wait-for cycle
+			// witness come before the raw stuck-worm dump.
+			if blame := n.fore.StallReport(); blame != "" {
+				err.Blame = blame
+				err.Detail = blame + err.Detail
+			}
+		}
 		if n.tel != nil && n.tel.Tracing() {
 			for i, w := range n.WormStates() {
 				if i >= 8 {
@@ -612,8 +648,13 @@ func (n *Network) allocate() {
 		if n.vcCh[id] == -1 && ports > 0 && int(n.injecting[n.vcNode[id]]) >= ports {
 			continue // all injection ports busy; wait for one to free up
 		}
-		if !n.route(id) && n.tel != nil {
-			n.tel.HeadBlocked(m.Class)
+		if !n.route(id) {
+			if n.tel != nil {
+				n.tel.HeadBlocked(m.Class)
+			}
+			if n.fore != nil {
+				n.foreBlocked(id, m)
+			}
 		}
 	}
 }
@@ -662,6 +703,7 @@ func (n *Network) route(id int32) bool {
 	n.vcOut[id] = outRoute{ch: int32(ch), vc: int16(c.VC), dim: int8(c.Dim), dir: int8(c.Dir)}
 	if n.vcCh[id] == -1 {
 		n.injecting[n.vcNode[id]]++
+		m.FirstAlloc = n.now
 	}
 	n.alg.Allocated(n.g, m, node, c)
 	if n.tel != nil {
@@ -851,6 +893,12 @@ func (n *Network) deliver(id int32) {
 	if n.tel != nil {
 		n.tel.VCReleased(int(n.vcClass[id]))
 		n.tel.Deliver(n.now, m.ID, m.Dst)
+	}
+	if n.fore != nil {
+		// The drain component is the unloaded latency of eq. (2), ml + d - 1,
+		// plus the router pipeline delay the header paid at each hop.
+		ideal := int64(m.HopsTotal)*int64(1+n.cfg.RouteDelay) + int64(n.msgLen) - 1
+		n.fore.Delivered(m.Class, m.HopsTotal, m.GenTime, m.FirstAlloc, m.DeliverTime, m.HeadStalls, ideal)
 	}
 	if n.cfg.OnDeliver != nil {
 		// Zero-copy handoff by contract: m is pooled and valid only for the

@@ -5,6 +5,8 @@ import (
 	"io"
 	"strconv"
 
+	"wormsim/internal/forensics"
+	"wormsim/internal/stats"
 	"wormsim/internal/topology"
 )
 
@@ -98,6 +100,48 @@ func (p *Publisher) WriteMetrics(w io.Writer) error {
 		}
 	}
 
+	if f := ev.Forensics; f != nil {
+		mw.metric("wormsim_forensics_samples_total", "counter",
+			"Wait-for graph samples taken by the congestion forensics analyzer.", "", float64(f.Samples))
+		mw.metric("wormsim_forensics_blocked_observed_total", "counter",
+			"Head-blocked worm-cycles observed by forensics (sampled observations scaled by the sampling period).",
+			"", float64(f.BlockedObserved))
+		mw.metric("wormsim_forensics_attributed_total", "counter",
+			"Head-blocked worm-cycles successfully attributed to a root-cause channel.", "", float64(f.Attributed))
+		mw.metric("wormsim_forensics_unattributed_total", "counter",
+			"Head-blocked worm-cycles with no admissible output channel to blame.", "", float64(f.Unattributed))
+		mw.metric("wormsim_forensics_congestion_trees_total", "counter",
+			"Congestion trees (maximal wait-for components) seen across all samples.", "", float64(f.Trees))
+		mw.metric("wormsim_forensics_wait_cycles_total", "counter",
+			"Runtime wait-for cycles detected (near-deadlock early warning).", "", float64(f.WaitCycles))
+
+		g := grid(ev.K, ev.N, ev.Mesh)
+		for ch, v := range f.BlameByChannel {
+			if v == 0 {
+				continue // channels never blamed stay out of the exposition
+			}
+			node, dim, dir := g.ChannelInfo(ch)
+			mw.metric("wormsim_blame_cycles_total", "counter",
+				"Head-blocked worm-cycles attributed to each root-cause channel (zero-blame channels omitted).",
+				fmt.Sprintf(`{ch="%d",node="%d",dim="%d",dir=%q}`, ch, node, dim, dirString(dir)), float64(v))
+		}
+
+		for _, ca := range f.Anatomy {
+			if ca.Delivered == 0 {
+				continue
+			}
+			for _, comp := range []struct {
+				name string
+				cs   forensics.ComponentStats
+			}{{"inject", ca.Inject}, {"alloc", ca.Alloc}, {"behind", ca.Behind}, {"drain", ca.Drain}} {
+				mw.histogram("wormsim_latency_component_cycles",
+					"Delivered-worm latency decomposition by routing class and component (inject-queue wait, VC-allocation stalls, blocked-behind time, ideal drain).",
+					fmt.Sprintf(`class="%d",component="%s"`, ca.Class, comp.name),
+					comp.cs.Buckets, ca.Delivered, comp.cs.Mean*float64(ca.Delivered))
+			}
+		}
+	}
+
 	if s.Phases != nil {
 		mw.metric("wormsim_phase_cycles_total", "counter",
 			"Engine cycles observed by the phase profiler.", "", float64(s.Phases.Cycles))
@@ -137,6 +181,36 @@ func (mw *metricWriter) metric(name, kind, help, labels string, v float64) {
 		mw.lastName = name
 	}
 	_, mw.err = fmt.Fprintf(mw.w, "%s%s %s\n", name, labels, formatFloat(v))
+}
+
+// histogram writes one Prometheus histogram series from pre-cumulated
+// buckets: _bucket lines (plus the mandatory le="+Inf"), then _sum and
+// _count. The HELP/TYPE header is emitted once per family, keyed on the base
+// name like metric's.
+func (mw *metricWriter) histogram(name, help, labels string, buckets []stats.CumBucket, count int64, sum float64) {
+	if mw.err != nil {
+		return
+	}
+	if name != mw.lastName {
+		_, mw.err = fmt.Fprintf(mw.w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		if mw.err != nil {
+			return
+		}
+		mw.lastName = name
+	}
+	for _, b := range buckets {
+		if _, mw.err = fmt.Fprintf(mw.w, "%s_bucket{%s,le=%q} %d\n",
+			name, labels, formatFloat(b.UpperBound), b.Count); mw.err != nil {
+			return
+		}
+	}
+	if _, mw.err = fmt.Fprintf(mw.w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, count); mw.err != nil {
+		return
+	}
+	if _, mw.err = fmt.Fprintf(mw.w, "%s_sum{%s} %s\n", name, labels, formatFloat(sum)); mw.err != nil {
+		return
+	}
+	_, mw.err = fmt.Fprintf(mw.w, "%s_count{%s} %d\n", name, labels, count)
 }
 
 // formatFloat renders v the way Prometheus clients do: shortest

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"wormsim/internal/core"
+	"wormsim/internal/forensics"
 	"wormsim/internal/telemetry"
 )
 
@@ -143,6 +144,9 @@ func (p *Publisher) PublishTick(ev core.TickEvent) {
 	}
 	p.snap.Store(s)
 	p.broadcastLocked(tickMessage(ev, rate))
+	if ev.Forensics != nil {
+		p.broadcastLocked(blameMessage(ev))
+	}
 	for _, e := range ev.Events {
 		p.broadcastLocked(sseMessage("worm", e))
 	}
@@ -214,6 +218,23 @@ func sseMessage(event string, v any) []byte {
 		data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
 	}
 	return []byte("event: " + event + "\ndata: " + string(data) + "\n\n")
+}
+
+// blameMessage is the SSE frame for the forensics view of one tick: blame
+// and attribution totals plus the current top root channels. Clients wanting
+// the full anatomy (histograms, per-channel blame vector) poll /blame.
+func blameMessage(ev core.TickEvent) []byte {
+	f := ev.Forensics
+	return sseMessage("blame", struct {
+		Cycle      int64            `json:"cycle"`
+		Samples    int64            `json:"samples"`
+		Observed   int64            `json:"observed"`
+		Attributed float64          `json:"attributedFraction"`
+		Trees      int64            `json:"trees"`
+		WaitCycles int64            `json:"waitCycles"`
+		TopRoots   []forensics.Root `json:"topRoots,omitempty"`
+	}{ev.Cycle, f.Samples, f.BlockedObserved, f.AttributedFraction(),
+		f.Trees, f.WaitCycles, f.TopRoots(4)})
 }
 
 // tickMessage is the SSE frame for one engine tick: a compact progress

@@ -60,6 +60,8 @@ func (s *Server) mux() *http.ServeMux {
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/heatmap", s.handleHeatmapPage)
 	mux.HandleFunc("/heatmap.svg", s.handleHeatmapSVG)
+	mux.HandleFunc("/blame", s.handleBlame)
+	mux.HandleFunc("/blame.svg", s.handleBlameSVG)
 	mux.HandleFunc("/api/runs", s.withAPI(func(w http.ResponseWriter, r *http.Request) { s.api.handleRuns(w, r) }))
 	mux.HandleFunc("/api/runs/", s.withAPI(func(w http.ResponseWriter, r *http.Request) { s.api.handleRun(w, r) }))
 	mux.HandleFunc("/api/compare", s.withAPI(func(w http.ResponseWriter, r *http.Request) { s.api.handleCompare(w, r) }))
@@ -109,6 +111,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/snapshot">/snapshot</a> — full state as JSON</li>
 <li><a href="/events">/events</a> — SSE stream (ticks, sweep points, sampled worm events)</li>
 <li><a href="/heatmap">/heatmap</a> — live channel-utilization heatmap</li>
+<li><a href="/blame">/blame</a> — congestion forensics: blame summary, top root channels, latency anatomy (needs -forensics)</li>
+<li><a href="/blame.svg">/blame.svg</a> — blame-mass heatmap, congestion-tree roots ringed</li>
 <li><a href="/api/runs">/api/runs</a> — run store: GET lists recorded runs, POST a JSON config to submit one</li>
 <li><a href="/api/compare">/api/compare?a=ALG&amp;b=ALG</a> — aligned A-vs-B curves from the store</li>
 <li><a href="/compare.svg">/compare.svg?a=ALG&amp;b=ALG</a> — the comparison as an SVG overlay plot</li>
@@ -164,6 +168,70 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// blameRoot is one labeled entry of /blame's top-roots table: the root
+// channel's topology coordinates plus the node it feeds (where the contended
+// buffers physically sit).
+type blameRoot struct {
+	Ch    int     `json:"ch"`
+	Node  int     `json:"node"`
+	Dim   int     `json:"dim"`
+	Dir   string  `json:"dir"`
+	Feeds int     `json:"feeds"`
+	Blame int64   `json:"blame"`
+	Roots int64   `json:"roots"`
+	Share float64 `json:"share"`
+}
+
+func (s *Server) handleBlame(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	snap := s.pub.Snapshot()
+	if snap == nil || snap.Tick.Forensics == nil {
+		http.Error(w, `{"error":"no forensics summary yet (run with -forensics)"}`, http.StatusServiceUnavailable)
+		return
+	}
+	ev := snap.Tick
+	f := ev.Forensics
+	g := grid(ev.K, ev.N, ev.Mesh)
+	roots := []blameRoot{}
+	for _, r := range f.TopRoots(8) {
+		node, dim, dir := g.ChannelInfo(r.Ch)
+		roots = append(roots, blameRoot{
+			Ch: r.Ch, Node: node, Dim: dim, Dir: dirString(dir),
+			Feeds: g.Neighbor(node, dim, dir),
+			Blame: r.Blame, Roots: r.Roots, Share: r.Share,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(struct { //nolint:errcheck
+		Algorithm string      `json:"algorithm"`
+		Pattern   string      `json:"pattern"`
+		Load      float64     `json:"load"`
+		Cycle     int64       `json:"cycle"`
+		TopRoots  []blameRoot `json:"topRoots"`
+		Summary   any         `json:"summary"`
+	}{ev.Algorithm, ev.Pattern, ev.OfferedLoad, ev.Cycle, roots, f})
+}
+
+func (s *Server) handleBlameSVG(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "image/svg+xml")
+	snap := s.pub.Snapshot()
+	if snap == nil || snap.Tick.Forensics == nil || snap.Tick.K < 1 || snap.Tick.N < 1 {
+		fmt.Fprint(w, `<svg xmlns="http://www.w3.org/2000/svg" width="360" height="48"><text x="16" y="28" font-family="system-ui,sans-serif" font-size="13" fill="#52514e">no forensics summary yet (run with -forensics)</text></svg>`)
+		return
+	}
+	ev := snap.Tick
+	f := ev.Forensics
+	top := f.TopRoots(4)
+	rootChs := make([]int, len(top))
+	for i, r := range top {
+		rootChs[i] = r.Ch
+	}
+	title := fmt.Sprintf("%s %s rho=%.2f — blame through cycle %d (every %d)",
+		ev.Algorithm, ev.Pattern, ev.OfferedLoad, ev.Cycle, f.SampleEvery)
+	fmt.Fprint(w, viz.BlameSVG(grid(ev.K, ev.N, ev.Mesh), f.BlameByChannel, rootChs, title))
 }
 
 func (s *Server) handleHeatmapPage(w http.ResponseWriter, _ *http.Request) {

@@ -157,6 +157,29 @@ func (h *Histogram) Render(width int) string {
 	return b.String()
 }
 
+// CumBucket is one cumulative histogram bucket in Prometheus exposition
+// form: Count observations had a value <= UpperBound.
+type CumBucket struct {
+	UpperBound float64
+	Count      int64
+}
+
+// Cumulative returns the histogram's buckets in cumulative Prometheus form,
+// one entry per allocated bucket (the last entry's Count equals Count()).
+// Empty histograms return nil.
+func (h *Histogram) Cumulative() []CumBucket {
+	if len(h.buckets) == 0 {
+		return nil
+	}
+	out := make([]CumBucket, 0, len(h.buckets))
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		out = append(out, CumBucket{UpperBound: bucketLow(i + 1), Count: cum})
+	}
+	return out
+}
+
 // Quantiles computes several quantiles at once, more cheaply than repeated
 // Quantile calls on large histograms; qs need not be sorted.
 func (h *Histogram) Quantiles(qs ...float64) []float64 {

@@ -19,10 +19,15 @@ const (
 	EvHop
 	EvDeliver
 	EvKill
+	// EvBlock records a sampled head-blocked observation from the forensics
+	// analyzer: the worm's header wanted virtual channel (Ch, VC) and found
+	// it held by worm Blocker. Appended after the lifecycle stages so the
+	// original wire numbering stays stable.
+	EvBlock
 )
 
 // eventNames maps EventType to its wire name.
-var eventNames = [...]string{"inject", "drop", "vcalloc", "hop", "deliver", "kill"}
+var eventNames = [...]string{"inject", "drop", "vcalloc", "hop", "deliver", "kill", "block"}
 
 // String returns the wire name.
 func (t EventType) String() string {
@@ -62,6 +67,10 @@ type Event struct {
 	VC    int       `json:"vc"`
 	Src   int       `json:"src"`
 	Dst   int       `json:"dst"`
+	// Blocker is the worm holding the wanted virtual channel on EvBlock
+	// events (-1 when the holder is unknown; 0 and omitted otherwise, so
+	// pre-existing trace formats are byte-identical).
+	Blocker int64 `json:"blocker,omitempty"`
 }
 
 // String renders the event for diagnostics (the watchdog report).
@@ -71,6 +80,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("c%-6d msg %-4d %-7s %d->%d", e.Cycle, e.Msg, e.Type, e.Src, e.Dst)
 	case EvVCAlloc, EvHop:
 		return fmt.Sprintf("c%-6d msg %-4d %-7s node %d ch %d vc %d", e.Cycle, e.Msg, e.Type, e.Node, e.Ch, e.VC)
+	case EvBlock:
+		return fmt.Sprintf("c%-6d msg %-4d %-7s node %d wants ch %d vc %d held by worm %d", e.Cycle, e.Msg, e.Type, e.Node, e.Ch, e.VC, e.Blocker)
 	default:
 		return fmt.Sprintf("c%-6d msg %-4d %-7s node %d", e.Cycle, e.Msg, e.Type, e.Node)
 	}
@@ -104,9 +115,13 @@ func WriteJSONL(w io.Writer, events []Event) error {
 // to threads of one process, so chrome://tracing draws each worm's lifecycle
 // as a labelled horizontal track.
 type chromeEvent struct {
-	Name string      `json:"name"`
-	Cat  string      `json:"cat,omitempty"`
-	Ph   string      `json:"ph"`
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	Ph   string `json:"ph"`
+	// ID pairs flow start ("s") and finish ("f") events; BP is the flow
+	// binding point ("e" binds the finish to the enclosing slice).
+	ID   int64       `json:"id,omitempty"`
+	BP   string      `json:"bp,omitempty"`
 	TS   int64       `json:"ts"`
 	Dur  int64       `json:"dur,omitempty"`
 	PID  int         `json:"pid"`
@@ -148,6 +163,7 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 
 	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events)+len(lastSeen))}
 	named := map[int64]bool{}
+	var flowID int64
 	for i, e := range events {
 		if !named[e.Msg] {
 			named[e.Msg] = true
@@ -168,12 +184,25 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		if e.Type == EvHop || e.Type == EvVCAlloc {
 			name = fmt.Sprintf("%s node %d", e.Type, e.Node)
 		}
+		if e.Type == EvBlock {
+			name = fmt.Sprintf("blocked node %d", e.Node)
+		}
 		node, ch, vc := e.Node, e.Ch, e.VC
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: name, Cat: e.Type.String(), Ph: "X", TS: e.Cycle, Dur: dur,
 			PID: 0, TID: e.Msg,
 			Args: &chromeArgs{Node: &node, Ch: &ch, VC: &vc},
 		})
+		if e.Type == EvBlock && e.Blocker >= 0 {
+			// A flow arrow from the blocked worm's track to its blocker's:
+			// chrome://tracing and Perfetto render the wait-for edge across
+			// the two threads.
+			flowID++
+			out.TraceEvents = append(out.TraceEvents,
+				chromeEvent{Name: "waits-for", Cat: "block", Ph: "s", ID: flowID, TS: e.Cycle, PID: 0, TID: e.Msg},
+				chromeEvent{Name: "waits-for", Cat: "block", Ph: "f", BP: "e", ID: flowID, TS: e.Cycle, PID: 0, TID: e.Blocker},
+			)
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")

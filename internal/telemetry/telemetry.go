@@ -186,6 +186,16 @@ func (c *Collector) Deliver(cycle, msg int64, node int) {
 	}
 }
 
+// Block records a sampled head-blocked observation from the forensics
+// analyzer: worm msg's header at node wants virtual channel (ch, vc), held
+// by worm blocker (-1 when unknown). Only sampled forensics cycles emit
+// these, so they cannot flood the ring at saturation.
+func (c *Collector) Block(cycle, msg int64, node, ch, vc int, blocker int64) {
+	if c.sampled(msg) {
+		c.record(Event{Cycle: cycle, Msg: msg, Type: EvBlock, Node: node, Ch: ch, VC: vc, Src: -1, Dst: -1, Blocker: blocker})
+	}
+}
+
 // Kill records the deadlock watchdog giving up on worm msg stuck at node.
 func (c *Collector) Kill(cycle, msg int64, node int) {
 	if c.sampled(msg) {

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"wormsim/internal/forensics"
 	"wormsim/internal/network"
 	"wormsim/internal/routing"
 	"wormsim/internal/telemetry"
@@ -111,6 +112,118 @@ func TestChromeTraceGolden(t *testing.T) {
 	}
 	if meta == 0 {
 		t.Error("no thread-name metadata events")
+	}
+}
+
+// traceFrom4x4Blocked is the forensics variant of the tiny scenario: enough
+// load that worms block, an every-cycle analyzer attached, so the trace
+// carries block events and the Chrome export carries flow arrows.
+func traceFrom4x4Blocked(t *testing.T) []telemetry.Event {
+	t.Helper()
+	g := topology.NewTorus(4, 2)
+	alg, err := routing.Get("ecube")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := traffic.NewBernoulli(g, traffic.NewUniform(g), 0.1, 9)
+	tel := telemetry.New(telemetry.Options{Trace: true}, g.ChannelSlots(), alg.NumVCs(g))
+	fore := forensics.New(forensics.Options{SampleEvery: 1}, g.ChannelSlots())
+	n, err := network.New(network.Config{
+		Grid: g, Algorithm: alg, Workload: wl, MsgLen: 8, Seed: 9,
+		Telemetry: tel, Forensics: fore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	evs := tel.Events()
+	blocks := 0
+	for _, e := range evs {
+		if e.Type == telemetry.EvBlock {
+			blocks++
+		}
+	}
+	if blocks == 0 {
+		t.Fatal("blocked scenario recorded no block events; the flow test exercises nothing")
+	}
+	return evs
+}
+
+// TestChromeTraceFlowGolden pins the flow-event export byte-for-byte and
+// verifies the arrows' structural contract: every block event becomes one
+// "s"/"f" pair sharing an id, started on the blocked worm's track and bound
+// to the blocking worm's. Regenerate with:
+// go test ./internal/telemetry -run FlowGolden -update
+func TestChromeTraceFlowGolden(t *testing.T) {
+	evs := traceFrom4x4Blocked(t)
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_4x4_flow.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("flow trace drifted from golden file %s (run with -update if intended); got %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			TS   int64  `json:"ts"`
+			TID  int64  `json:"tid"`
+			ID   int64  `json:"id"`
+			BP   string `json:"bp"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	starts := map[int64]int64{} // flow id -> blocked worm's track
+	finishes := 0
+	for _, e := range trace.TraceEvents {
+		switch e.Ph {
+		case "s":
+			if e.Name != "waits-for" || e.Cat != "block" {
+				t.Errorf("flow start named %q cat %q", e.Name, e.Cat)
+			}
+			if _, dup := starts[e.ID]; dup {
+				t.Errorf("flow id %d started twice", e.ID)
+			}
+			starts[e.ID] = e.TID
+		case "f":
+			finishes++
+			if e.BP != "e" {
+				t.Errorf("flow finish id %d missing bp=e", e.ID)
+			}
+			src, ok := starts[e.ID]
+			if !ok {
+				t.Errorf("flow finish id %d without a start", e.ID)
+			} else if src == e.TID {
+				t.Errorf("flow id %d binds worm %d to itself", e.ID, e.TID)
+			}
+		}
+	}
+	blocks := 0
+	for _, e := range evs {
+		if e.Type == telemetry.EvBlock && e.Blocker >= 0 {
+			blocks++
+		}
+	}
+	if len(starts) != blocks || finishes != blocks {
+		t.Errorf("%d starts / %d finishes for %d attributable block events", len(starts), finishes, blocks)
 	}
 }
 
