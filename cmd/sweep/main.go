@@ -16,6 +16,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"wormsim/internal/core"
 	"wormsim/internal/forensics"
@@ -42,6 +43,7 @@ func main() {
 	flag.IntVar(&cfg.InjectionPorts, "ports", 0, "injection ports per node (default 2, -1 unlimited)")
 	flag.IntVar(&cfg.RouteDelay, "routedelay", 0, "router pipeline cycles per header hop")
 	seed := flag.Uint64("seed", 1, "random seed")
+	replicas := flag.Int("replicas", 1, "seeds per point, run as lockstep batches with across-seed error bars (0 = one per sampling period budget); replica r uses seed + r*0x9e3779b97f4a7c15")
 	flag.Int64Var(&cfg.WarmupCycles, "warmup", 0, "warmup cycles")
 	flag.Int64Var(&cfg.SampleCycles, "sample", 0, "cycles per sample")
 	flag.IntVar(&cfg.MaxSamples, "maxsamples", 0, "max sampling periods")
@@ -123,6 +125,17 @@ func main() {
 			fmt.Fprintln(os.Stderr)
 		}
 		fmt.Fprintf(os.Stderr, format, a...)
+	}
+
+	if *replicas != 1 {
+		if err := sweepReplicated(cfg, algList, loads, *replicas, *format); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		if store != nil {
+			note("store: hits=%d misses=%d\n", store.Hits(), store.Misses())
+		}
+		return
 	}
 
 	switch *format {
@@ -212,6 +225,68 @@ func main() {
 	if prog != nil {
 		prog.Finish()
 	}
+}
+
+// sweepReplicated runs the replicated sweep: every (algorithm, load) point
+// simulated at n seeds through the batch lockstep engine
+// (core.SweepReplicated), reported as mean +- across-seed spread. The
+// aggregate simulation rate lands on stderr per algorithm.
+func sweepReplicated(cfg core.Config, algList []string, loads []float64, n int, format string) error {
+	eff := cfg
+	eff.ApplyDefaults()
+	if n <= 0 {
+		n = eff.MaxSamples
+	}
+	seeds := make([]uint64, n)
+	for r := range seeds {
+		seeds[r] = cfg.Seed + uint64(r)*0x9e3779b97f4a7c15
+	}
+	switch format {
+	case "csv":
+		fmt.Println("algorithm,pattern,switching,offered,mean_latency,latency_spread,mean_throughput,replicas,deadlocks")
+	case "table":
+		fmt.Printf("%-8s %-10s %8s %12s %10s %10s %10s\n", "alg", "pattern", "offered", "mean_lat", "spread", "thruput", "deadlocks")
+	case "json":
+		// one JSON object per line (JSONL), emitted below
+	default:
+		return fmt.Errorf("unknown format %q (csv, table, json)", format)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, alg := range algList {
+		alg = strings.TrimSpace(alg)
+		c := cfg
+		c.Algorithm = alg
+		start := time.Now()
+		results, err := core.SweepReplicated(c, loads, seeds, runtime.GOMAXPROCS(0))
+		wall := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("%s: %w", alg, err)
+		}
+		var cycles int64
+		for _, rr := range results {
+			for _, r := range rr.Replicas {
+				cycles += r.Cycles
+			}
+			switch format {
+			case "csv":
+				fmt.Printf("%s,%s,%s,%.3f,%.2f,%.2f,%.4f,%d,%d\n",
+					alg, cfg.Pattern, eff.Switching, rr.OfferedLoad, rr.MeanLatency, rr.LatencySpread,
+					rr.MeanThroughput, len(rr.Replicas), rr.Deadlocks)
+			case "json":
+				rec := rr
+				rec.Replicas = nil // keep the records small
+				if err := enc.Encode(rec); err != nil {
+					return err
+				}
+			default:
+				fmt.Printf("%-8s %-10s %8.2f %12.1f %10.1f %10.4f %10d\n",
+					alg, cfg.Pattern, rr.OfferedLoad, rr.MeanLatency, rr.LatencySpread, rr.MeanThroughput, rr.Deadlocks)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "# %s: %d seeds x %d loads, %.3g replica-cycles/s aggregate over %v wall\n",
+			alg, n, len(loads), float64(cycles)/wall.Seconds(), wall.Round(time.Millisecond))
+	}
+	return nil
 }
 
 // writeChromeTrace writes one point's lifecycle trace for chrome://tracing.

@@ -28,6 +28,7 @@ import (
 	"wormsim/internal/observatory"
 	"wormsim/internal/routing"
 	"wormsim/internal/runstore"
+	"wormsim/internal/stats"
 	"wormsim/internal/telemetry"
 	"wormsim/internal/topology"
 	"wormsim/internal/viz"
@@ -50,6 +51,7 @@ func main() {
 	flag.IntVar(&cfg.InjectionPorts, "ports", 0, "concurrent injection ports per node (default 2, -1 unlimited)")
 	flag.IntVar(&cfg.RouteDelay, "routedelay", 0, "router pipeline cycles per header hop")
 	seed := flag.Uint64("seed", 1, "random seed")
+	replicas := flag.Int("replicas", 1, "simulate this many seeds of the point in one lockstep batch (0 = one per sampling period budget); replica r uses seed + r*0x9e3779b97f4a7c15")
 	flag.Int64Var(&cfg.WarmupCycles, "warmup", 0, "warmup cycles (default 5000)")
 	flag.Int64Var(&cfg.SampleCycles, "sample", 0, "cycles per sampling period (default 2000)")
 	flag.IntVar(&cfg.MaxSamples, "maxsamples", 0, "maximum sampling periods (default 12)")
@@ -215,6 +217,14 @@ func main() {
 		}
 	}
 
+	if *replicas != 1 {
+		code := runReplicated(cfg, *replicas, prog)
+		if obsrv != nil {
+			obsrv.Close()
+		}
+		os.Exit(code)
+	}
+
 	res, hit, err := core.RunCached(cfg)
 	if prog != nil {
 		prog.Finish()
@@ -312,6 +322,66 @@ func main() {
 	if res.Deadlocked {
 		os.Exit(2)
 	}
+}
+
+// runReplicated simulates n seeds of the point in one lockstep batch
+// (core.RunReplicas) and prints per-replica results plus the aggregate:
+// mean latency with its across-seed spread, mean throughput, and the
+// aggregate simulation rate the batch achieved. n == 0 picks one replica
+// per sampling period budget (the convergence rule's MaxSamples), the width
+// at which the batch replaces the longest possible scalar run. Returns the
+// process exit code.
+func runReplicated(cfg core.Config, n int, prog *telemetry.Progress) int {
+	eff := cfg
+	eff.ApplyDefaults()
+	if n <= 0 {
+		n = eff.MaxSamples
+	}
+	seeds := make([]uint64, n)
+	for r := range seeds {
+		seeds[r] = cfg.Seed + uint64(r)*0x9e3779b97f4a7c15
+	}
+	start := time.Now()
+	results, err := core.RunReplicas(cfg, seeds)
+	wall := time.Since(start)
+	if prog != nil {
+		prog.Finish()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wormsim: %v\n", err)
+		return 1
+	}
+	fmt.Printf("network      : %d-ary %d-cube", cfg.K, cfg.N)
+	if cfg.Mesh {
+		fmt.Printf(" (mesh)")
+	}
+	fmt.Println()
+	fmt.Printf("algorithm    : %s (%s switching, policy %s)\n", results[0].Algorithm, results[0].Switching, cfg.Policy)
+	fmt.Printf("pattern      : %s (mean distance %.3f hops)\n", results[0].Pattern, results[0].MeanDistance)
+	fmt.Printf("offered load : %.3f of capacity (%.5f msgs/node/cycle)\n", results[0].OfferedLoad, results[0].InjectionRate)
+	fmt.Printf("replicas     : %d seeds in one lockstep batch\n", n)
+	var lat, thr stats.Welford
+	var cycles int64
+	deadlocks := 0
+	for r, res := range results {
+		fmt.Printf("  seed %-#18x: %s\n", seeds[r], res.String())
+		cycles += res.Cycles
+		if res.Deadlocked {
+			deadlocks++
+			continue
+		}
+		lat.Add(res.AvgLatency)
+		thr.Add(res.Throughput)
+	}
+	fmt.Printf("aggregate    : latency %.1f +- %.1f cycles (across-seed spread); throughput %.4f; deadlocks %d/%d\n",
+		lat.Mean(), lat.StdDev(), thr.Mean(), deadlocks, n)
+	rate := float64(cycles) / wall.Seconds()
+	fmt.Printf("rate         : %.3g replica-cycles/s aggregate (%.3g cycles/s per replica) over %v wall\n",
+		rate, rate/float64(n), wall.Round(time.Millisecond))
+	if deadlocks > 0 {
+		return 2
+	}
+	return 0
 }
 
 // printTelemetry renders the metrics registry: the busiest physical channels

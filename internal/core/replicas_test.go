@@ -1,0 +1,201 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"wormsim/internal/forensics"
+	"wormsim/internal/telemetry"
+)
+
+// mapCache is a minimal in-memory ResultCache for exercising the per-seed
+// cache consult without a disk store.
+type mapCache struct {
+	mu sync.Mutex
+	m  map[string]Result
+}
+
+func newMapCache() *mapCache { return &mapCache{m: map[string]Result{}} }
+
+func (c *mapCache) Lookup(hash string) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[hash]
+	return r, ok
+}
+
+func (c *mapCache) Store(hash string, _ Config, r Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[hash] = r
+	return nil
+}
+
+// TestRunReplicasMatchesRun pins the batch plumbing's contract: every
+// replica's Result is equal — field for field — to a scalar Run of the same
+// config and seed, across switching techniques and algorithms.
+func TestRunReplicasMatchesRun(t *testing.T) {
+	seeds := []uint64{5, 19, 77}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"phop", quick("phop")},
+		{"nbc", quick("nbc")},
+		{"ecube-mesh", func() Config {
+			c := quick("ecube")
+			c.Mesh = true
+			return c
+		}()},
+		{"nlast-vct", func() Config {
+			c := quick("nlast")
+			c.Switching = CutThrough
+			return c
+		}()},
+		{"phop-saf-fallback", func() Config {
+			c := quick("phop")
+			c.Switching = StoreFwd
+			c.OfferedLoad = 0.1
+			return c
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := RunReplicas(tc.cfg, seeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(seeds) {
+				t.Fatalf("got %d results for %d seeds", len(got), len(seeds))
+			}
+			for i, seed := range seeds {
+				c := tc.cfg
+				c.Seed = seed
+				want, err := Run(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got[i], want) {
+					t.Errorf("seed %d: replica result diverges from scalar Run\n got: %+v\nwant: %+v", seed, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestRunReplicasObserverInstruments: telemetry and forensics attach to the
+// first replica only, whose summaries match an instrumented scalar Run; the
+// sibling replicas' numbers match bare scalar runs (instrumentation is
+// observation, never perturbation).
+func TestRunReplicasObserverInstruments(t *testing.T) {
+	cfg := quick("nbc")
+	cfg.Telemetry = &telemetry.Options{Trace: true, TraceCap: 1 << 14}
+	cfg.Forensics = &forensics.Options{SampleEvery: 16}
+	seeds := []uint64{5, 19}
+	got, err := RunReplicas(cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs := cfg
+	obs.Seed = seeds[0]
+	want0, err := Run(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got[0], want0) {
+		t.Errorf("observer replica diverges from instrumented scalar Run\n got: %+v\nwant: %+v", got[0], want0)
+	}
+	if got[0].Telemetry == nil || got[0].Forensics == nil || len(got[0].TraceEvents) == 0 {
+		t.Fatal("observer replica missing instrument output")
+	}
+
+	bare := quick("nbc")
+	bare.Seed = seeds[1]
+	want1, err := Run(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].Telemetry != nil || got[1].Forensics != nil || got[1].TraceEvents != nil {
+		t.Error("non-observer replica carries instrument output")
+	}
+	if !reflect.DeepEqual(got[1], want1) {
+		t.Errorf("sibling replica diverges from bare scalar Run\n got: %+v\nwant: %+v", got[1], want1)
+	}
+}
+
+// TestRunReplicasCache: the per-seed cache consult serves hits without
+// engine work, fills misses, and mixes freely with scalar RunCached entries
+// (same hashes, same stored bits).
+func TestRunReplicasCache(t *testing.T) {
+	cfg := quick("phop")
+	cfg.Cache = newMapCache()
+	seeds := []uint64{5, 19, 77}
+
+	// Pre-populate one seed via the scalar path.
+	pre := cfg
+	pre.Seed = seeds[1]
+	preRes, hit, err := RunCached(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("empty cache reported a hit")
+	}
+
+	first, err := RunReplicas(cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first[1], preRes) {
+		t.Error("cache hit differs from stored scalar result")
+	}
+
+	// Every seed is now stored; a second call must be all hits, and a
+	// scalar RunCached must hit the batch-stored entries.
+	mc := cfg.Cache.(*mapCache)
+	stored := len(mc.m)
+	if stored != len(seeds) {
+		t.Fatalf("cache holds %d entries, want %d", stored, len(seeds))
+	}
+	second, err := RunReplicas(cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cached replay differs from first run")
+	}
+	sc := cfg
+	sc.Seed = seeds[2]
+	r2, hit, err := RunCached(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("scalar RunCached missed a batch-stored entry")
+	}
+	if !reflect.DeepEqual(r2, first[2]) {
+		t.Error("scalar hit differs from batch result")
+	}
+}
+
+// TestRunReplicasEmptyAndSingle: degenerate widths work — zero seeds is a
+// no-op, one seed matches scalar Run exactly.
+func TestRunReplicasEmptyAndSingle(t *testing.T) {
+	if rs, err := RunReplicas(quick("ecube"), nil); err != nil || len(rs) != 0 {
+		t.Fatalf("empty seeds: %v, %d results", err, len(rs))
+	}
+	cfg := quick("ecube")
+	got, err := RunReplicas(cfg, []uint64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got[0], want) {
+		t.Errorf("single replica diverges from scalar Run\n got: %+v\nwant: %+v", got[0], want)
+	}
+}

@@ -24,10 +24,14 @@ func FindSaturation(cfg Config, lo, hi, tol, slack float64) (load float64, at Re
 	tracks := func(rho float64) (bool, Result, error) {
 		c := cfg
 		c.OfferedLoad = rho
-		r, err := Run(c)
-		if err != nil && !r.Deadlocked {
-			return false, r, err
+		// Probe through the batch engine at width one: the same Result as
+		// Run (TestRunReplicasMatchesRun), on the code path the sweeps use,
+		// with RunReplicas' per-seed cache consult when cfg.Cache is set.
+		rs, err := RunReplicas(c, []uint64{c.Seed})
+		if err != nil {
+			return false, Result{}, err
 		}
+		r := rs[0]
 		if r.Deadlocked {
 			return false, r, nil
 		}

@@ -175,14 +175,21 @@ type ReplicatedResult struct {
 	Deadlocks int
 }
 
+// replicaChunk is the batch width SweepReplicated hands to each scheduler
+// task: wide enough to amortize the shared tables and interleave the RNG
+// chains of the lockstep engine, narrow enough that one load's replicas
+// still spread across idle workers.
+const replicaChunk = 16
+
 // SweepReplicated runs cfg at every load once per seed, fanning the (load,
-// replication) matrix through one work-stealing scheduler: each load is
-// submitted as an item that spawns its replications onto the running
-// worker's deque, so a cheap load's worker finishes and steals replications
-// from the expensive loads near saturation. Results are aggregated per load,
-// in load order; they are identical to running every (load, seed) pair
-// sequentially. Deadlocked replicas are recorded, not fatal; any other error
-// aborts.
+// replica-chunk) matrix through one work-stealing scheduler: each load is
+// submitted as an item that spawns chunks of up to replicaChunk seeds onto
+// the running worker's deque, so a cheap load's worker finishes and steals
+// chunks from the expensive loads near saturation. Each chunk runs on the
+// batch lockstep engine (RunReplicas), which makes its seeds share tables
+// and one fused sweep per cycle. Results are aggregated per load, in load
+// order; they are identical to running every (load, seed) pair sequentially.
+// Deadlocked replicas are recorded, not fatal; any other error aborts.
 func SweepReplicated(cfg Config, loads []float64, seeds []uint64, workers int) ([]ReplicatedResult, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("core: SweepReplicated needs at least one seed")
@@ -194,16 +201,23 @@ func SweepReplicated(cfg Config, loads []float64, seeds []uint64, workers int) (
 		out[i] = ReplicatedResult{OfferedLoad: loads[i], Replicas: make([]Result, len(seeds))}
 		i := i
 		s.Submit(func(w int) {
-			for j := range seeds {
-				j := j
+			// Fan the seeds out in replica chunks: each chunk rides the batch
+			// lockstep engine (one fused sweep per cycle across its seeds,
+			// shared tables), and chunks of one load spread across idle
+			// workers like any other stolen task.
+			for lo := 0; lo < len(seeds); lo += replicaChunk {
+				lo := lo
+				hi := lo + replicaChunk
+				if hi > len(seeds) {
+					hi = len(seeds)
+				}
 				s.Spawn(w, func(int) {
 					c := cfg
 					c.OfferedLoad = loads[i]
-					c.Seed = seeds[j]
-					r, _, err := RunCached(c)
-					out[i].Replicas[j] = r
-					if err != nil && !r.Deadlocked {
-						errs[i*len(seeds)+j] = fmt.Errorf("core: replicated sweep at rho=%.3g seed=%#x: %w", loads[i], seeds[j], err)
+					rs, err := RunReplicas(c, seeds[lo:hi])
+					copy(out[i].Replicas[lo:hi], rs)
+					if err != nil {
+						errs[i*len(seeds)+lo] = fmt.Errorf("core: replicated sweep at rho=%.3g: %w", loads[i], err)
 					}
 				})
 			}

@@ -1,0 +1,90 @@
+package rng
+
+import "testing"
+
+// TestPCGInverseMultiplier pins the precomputed modular inverse the grid's
+// candidate pass uses to walk the state recurrence backwards.
+func TestPCGInverseMultiplier(t *testing.T) {
+	m, inv := uint64(pcgMultiplier), uint64(pcgInvMultiplier)
+	if p := m * inv; p != 1 {
+		t.Fatalf("pcgMultiplier*pcgInvMultiplier = %d mod 2^64, want 1", p)
+	}
+}
+
+// TestBernoulliHitsGridMatchesSerial pins the grid to the scalar sequence:
+// the hits come back round-major with each stream's draws consumed in
+// exactly the order its own Uint53 trials would, for thresholds on both
+// sides of the high-word shortcut. Width 70 also exercises the
+// pointer-walking fallback above gridWidth.
+func TestBernoulliHitsGridMatchesSerial(t *testing.T) {
+	for _, w := range []int{1, 16, 70} {
+		// A high rate so the test sees plenty of hits, including high-word
+		// boundary cases over enough rounds.
+		for _, thr := range []uint64{0, BernoulliThreshold(0.35), 1 << 53} {
+			grid := make([]*Stream, w)
+			serial := make([]*Stream, w)
+			for i := range grid {
+				grid[i] = NewStream(uint64(i)*0x9e3779b97f4a7c15, 0x1a77)
+				serial[i] = NewStream(uint64(i)*0x9e3779b97f4a7c15, 0x1a77)
+			}
+			// Odd so the round-pair kernel's peeled final round runs too.
+			const rounds = 201
+			hits := BernoulliHitsGrid(grid, rounds, thr, nil)
+			var want []uint64
+			for round := 0; round < rounds; round++ {
+				for i, s := range serial {
+					if s.Uint53() < thr {
+						want = append(want, uint64(round)<<32|uint64(i))
+					}
+				}
+			}
+			if len(hits) != len(want) {
+				t.Fatalf("w=%d thr=%#x: %d hits, want %d", w, thr, len(hits), len(want))
+			}
+			for i := range hits {
+				if hits[i] != want[i] {
+					t.Fatalf("w=%d thr=%#x: hit[%d] = %#x, want %#x", w, thr, i, hits[i], want[i])
+				}
+			}
+			for i := range grid {
+				if grid[i].state != serial[i].state {
+					t.Fatalf("w=%d thr=%#x: stream %d state diverged", w, thr, i)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkBernoulliHitsGrid measures the batch engine's arrival-draw
+// primitive at its hot shape: 16 replica streams x 64 nodes of Bernoulli
+// trials per cycle at a light rate. The per-draw figure is the serial-chain
+// ILP win to watch.
+func BenchmarkBernoulliHitsGrid(b *testing.B) {
+	const w, rounds = 16, 64
+	streams := make([]*Stream, w)
+	for i := range streams {
+		streams[i] = NewStream(uint64(i+1), 0x1a77)
+	}
+	thr := BernoulliThreshold(0.003)
+	hits := make([]uint64, 0, w*rounds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits = BernoulliHitsGrid(streams, rounds, thr, hits[:0])
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*w*rounds), "ns/draw")
+}
+
+// BenchmarkUint53Serial is the scalar baseline: the same number of draws
+// from one stream's serial recurrence.
+func BenchmarkUint53Serial(b *testing.B) {
+	s := NewStream(1, 0x1a77)
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 1024; k++ {
+			sink += s.Uint53()
+		}
+	}
+	_ = sink
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*1024), "ns/draw")
+}

@@ -40,6 +40,13 @@ type Grid struct {
 	nodes int
 	// stride[i] = k^i, used for id <-> coordinate conversion.
 	stride []int
+	// coordTab[id*n+dim] caches Coord(id, dim) and parityTab[id] caches the
+	// coordinate-sum parity: the engine's injection path (message offset
+	// decomposition, the hop schemes' parity classification) calls these for
+	// every generated message, and the div/mod chains they replace dominate
+	// that cost. O(nodes*n) words, built once at construction.
+	coordTab  []int32
+	parityTab []int8
 }
 
 // NewTorus returns a k-ary n-cube. It panics if k < 2 or n < 1.
@@ -61,6 +68,17 @@ func newGrid(k, n int, wrap bool) *Grid {
 	for i := 0; i < n; i++ {
 		g.stride[i] = g.nodes
 		g.nodes *= k
+	}
+	g.coordTab = make([]int32, g.nodes*n)
+	g.parityTab = make([]int8, g.nodes)
+	for id := 0; id < g.nodes; id++ {
+		p := 0
+		for dim := 0; dim < n; dim++ {
+			c := id / g.stride[dim] % k
+			g.coordTab[id*n+dim] = int32(c)
+			p += c
+		}
+		g.parityTab[id] = int8(p & 1)
 	}
 	return g
 }
@@ -88,7 +106,7 @@ func (g *Grid) String() string {
 
 // Coord returns coordinate i of node id.
 func (g *Grid) Coord(id, dim int) int {
-	return id / g.stride[dim] % g.k
+	return int(g.coordTab[id*g.n+dim])
 }
 
 // Coords fills dst (which must have length >= n) with the coordinates of
@@ -117,11 +135,7 @@ func (g *Grid) ID(coords []int) int {
 // Parity returns the sum of the node's coordinates modulo 2. Nodes with
 // parity 1 are the "odd" nodes of the paper's negative-hop scheme.
 func (g *Grid) Parity(id int) int {
-	p := 0
-	for i := 0; i < g.n; i++ {
-		p += id / g.stride[i] % g.k
-	}
-	return p & 1
+	return int(g.parityTab[id])
 }
 
 // Neighbor returns the node adjacent to id in dimension dim, direction dir,
