@@ -2,22 +2,32 @@
 // (see internal/lint): determinism of the simulation core, zero-alloc
 // discipline on the engine's whole-program per-cycle call graph, atomic and
 // mutex discipline, hook-escape copying, nil-guarded telemetry hooks,
-// lock-copy and loop-capture hazards, and error-message conventions.
+// lock-copy and loop-capture hazards, scalar/batch engine parity,
+// resource-conservation ledgers, slot/position index discipline, and
+// error-message conventions.
 //
 //	wormlint ./...                      # whole repo (the CI gate)
 //	wormlint ./internal/core            # one package
 //	wormlint -list                      # describe the passes
 //	wormlint -passes errfmt,lockscope   # run a subset
 //	wormlint -fix ./...                 # apply suggested fixes in place
+//	wormlint -json ./...                # findings as a JSON array
 //	wormlint -sarif out.sarif ./...     # SARIF 2.1.0 for code scanning
 //	wormlint -writebaseline lint.txt    # accept today's findings as debt
 //	wormlint -baseline lint.txt ./...   # gate only on new findings
 //	wormlint -certify-purity certs.json # purity certificates for the run
 //	                                    # entry points (CI pins a golden)
+//	wormlint -certify-parity certs.json # engine parity certificates
+//	                                    # (CI pins a golden)
+//
+// The module is loaded and type-checked exactly once per invocation: the
+// lint passes and both certification flags share one lint.Program, so
+// combining them costs one load, not three.
 //
 // Findings print as "file:line: [pass] message". Exit status: 0 clean,
 // 1 findings, 2 usage or load/type-check failure. Intentional uses are
-// annotated in the source with `//lint:allow <pass>[,<pass>...] reason`.
+// annotated in the source with `//lint:allow <pass>[,<pass>...] reason`;
+// intentional engine divergences with `//lint:parity <dim>[,...] reason`.
 package main
 
 import (
@@ -35,10 +45,12 @@ func main() {
 	list := flag.Bool("list", false, "list the passes and exit")
 	passesFlag := flag.String("passes", "", "comma-separated pass names to run (default: all)")
 	fix := flag.Bool("fix", false, "apply suggested fixes to the source files")
+	jsonOut := flag.Bool("json", false, "print findings as a JSON array instead of text")
 	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
 	baselinePath := flag.String("baseline", "", "suppress findings listed in this baseline file")
 	writeBaseline := flag.String("writebaseline", "", "write current findings to this baseline file and exit 0")
 	certifyPurity := flag.String("certify-purity", "", "write purity certificates for the run entry points to this file and gate on violations")
+	certifyParity := flag.String("certify-parity", "", "write scalar/batch engine parity certificates to this file and gate on divergence")
 	flag.Parse()
 
 	passes := lint.DefaultPasses()
@@ -73,12 +85,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *certifyPurity != "" {
-		certify(pkgs, loader.ModRoot, *certifyPurity)
-		return
-	}
-
-	findings := lint.Run(pkgs, passes)
+	// One Program serves findings and every certification below.
+	prog := lint.NewProgram(pkgs)
+	findings := lint.RunOn(prog, passes)
 
 	if *fix {
 		patched, err := lint.ApplyFixes(loader.Fset, findings)
@@ -109,7 +118,8 @@ func main() {
 				fmt.Fprintf(os.Stderr, "wormlint: reload after -fix: %v\n", err)
 				os.Exit(2)
 			}
-			findings = lint.Run(pkgs, passes)
+			prog = lint.NewProgram(pkgs)
+			findings = lint.RunOn(prog, passes)
 		}
 	}
 
@@ -156,36 +166,74 @@ func main() {
 		}
 	}
 
-	for _, f := range findings {
-		fmt.Printf("%s:%d: [%s] %s\n", relPath(f.Pos.Filename), f.Pos.Line, f.Pass, f.Msg)
+	exit := 0
+	if *certifyPurity != "" {
+		if certifyPurityRun(prog, loader.ModRoot, *certifyPurity) {
+			exit = 1
+		}
+	}
+	if *certifyParity != "" {
+		if certifyParityRun(prog, loader.ModRoot, *certifyParity) {
+			exit = 1
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonFindings(findings)); err != nil {
+			fmt.Fprintf(os.Stderr, "wormlint: -json: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d: [%s] %s\n", relPath(f.Pos.Filename), f.Pos.Line, f.Pass, f.Msg)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "wormlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
-		os.Exit(1)
+		exit = 1
 	}
+	os.Exit(exit)
 }
 
-// certify runs the purity certification (see lint.CertifyPurity) and writes
-// the certificate set to path. Exit status: 0 when every entry point is
-// pure modulo annotated exemptions, 1 when any certificate carries
-// violations, 2 when certification itself fails.
-func certify(pkgs []*lint.Package, modRoot, path string) {
-	prog := lint.NewProgram(pkgs)
+// jsonFinding is the -json output shape: one object per finding, with the
+// position split into machine-consumable fields.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+	Fixable bool   `json:"fixable"`
+}
+
+func jsonFindings(findings []lint.Finding) []jsonFinding {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:    relPath(f.Pos.Filename),
+			Line:    f.Pos.Line,
+			Column:  f.Pos.Column,
+			Pass:    f.Pass,
+			Message: f.Msg,
+			Fixable: f.Fix != nil,
+		})
+	}
+	return out
+}
+
+// certifyPurityRun runs the purity certification (see lint.CertifyPurity)
+// against the shared Program and writes the certificate set to path. It
+// reports whether any certificate carries violations; certification
+// machinery failures exit 2 directly.
+func certifyPurityRun(prog *lint.Program, modRoot, path string) bool {
 	certs, err := lint.CertifyPurity(prog, lint.NewPurity(), modRoot)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wormlint: -certify-purity: %v\n", err)
 		os.Exit(2)
 	}
-	data, err := json.MarshalIndent(certs, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "wormlint: -certify-purity: %v\n", err)
-		os.Exit(2)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "wormlint: -certify-purity: %v\n", err)
-		os.Exit(2)
-	}
+	writeCerts(path, certs, "-certify-purity")
 	violations := 0
 	for _, cert := range certs.Entries {
 		status := "PURE"
@@ -200,8 +248,49 @@ func certify(pkgs []*lint.Package, modRoot, path string) {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "wormlint: purity certificates written to %s (%s)\n", relPath(path), certs.Signature)
-	if violations > 0 {
-		os.Exit(1)
+	return violations > 0
+}
+
+// certifyParityRun runs the engine-parity certification (see
+// lint.CertifyParity) against the shared Program and writes the certificate
+// set to path. It reports whether any pair is divergent; certification
+// machinery failures exit 2 directly.
+func certifyParityRun(prog *lint.Program, modRoot, path string) bool {
+	certs, err := lint.CertifyParity(prog, lint.NewEngineParity(), modRoot)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wormlint: -certify-parity: %v\n", err)
+		os.Exit(2)
+	}
+	writeCerts(path, certs, "-certify-parity")
+	divergent := 0
+	for _, cert := range certs.Pairs {
+		audited := 0
+		for _, d := range cert.Dimensions {
+			if d.Status == "audited" {
+				audited++
+			}
+		}
+		if cert.Status == "divergent" {
+			divergent++
+		}
+		fmt.Fprintf(os.Stderr, "wormlint: parity: %-20s %-9s (%d/%d dimension(s) audited)\n",
+			cert.Pair, cert.Status, audited, len(cert.Dimensions))
+	}
+	fmt.Fprintf(os.Stderr, "wormlint: parity certificates written to %s (%s)\n", relPath(path), certs.Signature)
+	return divergent > 0
+}
+
+// writeCerts marshals one certificate set to path, exiting 2 on failure.
+func writeCerts(path string, certs any, flagName string) {
+	data, err := json.MarshalIndent(certs, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wormlint: %s: %v\n", flagName, err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "wormlint: %s: %v\n", flagName, err)
+		os.Exit(2)
 	}
 }
 

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parityFixtureModel configures the dataflow layer for the paritybad-shaped
+// fixtures: Eng/BEng engines, the engineext collaborators, and the fl→flits
+// layout unification.
+func parityFixtureModel(p *Package) *EngineModel {
+	extPath := path.Dir(p.Path) + "/engineext"
+	return &EngineModel{
+		TargetPkg:    p.Path,
+		ScalarTypes:  []string{"Eng"},
+		BatchTypes:   []string{"BEng"},
+		CallPrefix:   map[string]string{extPath + ".Stream": "rng", extPath + ".Pool": "pool"},
+		HookFields:   map[string]string{"OnEnd": "hook.OnEnd"},
+		ConfigFields: map[string]string{"Len": "cfg.Len"},
+		StateCanon:   map[string]string{"fl": "flits"},
+		DrawPrefixes: map[string]bool{"rng": true},
+		HookPrefixes: map[string]bool{"hook": true},
+		PoolCalls:    map[string]bool{"pool.Get": true, "pool.Put": true},
+	}
+}
+
+func parityFixturePass(p *Package) *EngineParity {
+	return &EngineParity{
+		Model: parityFixtureModel(p),
+		Pairs: []ParityPair{
+			{Name: "step", Scalar: "(*Eng).step", Batch: "(*BEng).stepB"},
+			{Name: "drawTwice", Scalar: "(*Eng).drawTwice", Batch: "(*BEng).drawTwiceB"},
+			{Name: "hookOnce", Scalar: "(*Eng).hookOnce", Batch: "(*BEng).hookOnceB"},
+			{Name: "stageWrite", Scalar: "(*Eng).stageWrite", Batch: "(*BEng).stageWriteB"},
+			{Name: "audited", Scalar: "(*Eng).audited", Batch: "(*BEng).auditedB"},
+			{Name: "stale", Scalar: "(*Eng).stale", Batch: "(*BEng).staleB"},
+			{Name: "baddir", Scalar: "(*Eng).baddir", Batch: "(*BEng).baddirB"},
+		},
+	}
+}
+
+func TestEngineParityFixture(t *testing.T) {
+	p := loadFixture(t, "paritybad")
+	checkFixture(t, "paritybad", parityFixturePass(p))
+}
+
+// TestEngineParityMissingPair: renaming one side of a pair must surface as
+// a configuration finding, not silently drop the pair from the proof.
+func TestEngineParityMissingPair(t *testing.T) {
+	p := loadFixture(t, "paritybad")
+	pass := parityFixturePass(p)
+	pass.Pairs = append(pass.Pairs, ParityPair{Name: "ghost", Scalar: "(*Eng).vanished", Batch: "(*BEng).stepB"})
+	var conf []Finding
+	for _, f := range Run([]*Package{p}, []Pass{pass}) {
+		if strings.Contains(f.Msg, "not found") {
+			conf = append(conf, f)
+		}
+	}
+	if len(conf) != 1 || !strings.Contains(conf[0].Msg, "(*Eng).vanished") {
+		t.Errorf("missing pair function reported as %v, want one configuration finding naming (*Eng).vanished", conf)
+	}
+}
+
+// TestEngineParityDirectiveNeedsReason: a bare //lint:parity <dim> line is
+// rejected — audits without rationale rot.
+func TestEngineParityDirectiveNeedsReason(t *testing.T) {
+	p := loadFixture(t, "paritynoreason")
+	pass := &EngineParity{
+		Model: parityFixtureModel(p),
+		Pairs: []ParityPair{{Name: "put", Scalar: "(*Eng).put", Batch: "(*BEng).putB"}},
+	}
+	got := Run([]*Package{p}, []Pass{pass})
+	if len(got) != 1 || !strings.Contains(got[0].Msg, "needs a reason") {
+		t.Errorf("reason-less directive reported as %v, want exactly one needs-a-reason finding", got)
+	}
+}
+
+// TestParityCertificatesFixture pins the certificate structure: statuses per
+// pair, per-dimension traces, and a deterministic signature.
+func TestParityCertificatesFixture(t *testing.T) {
+	p := loadFixture(t, "paritybad")
+	pass := parityFixturePass(p)
+	certs, err := CertifyParity(NewProgram([]*Package{p}), pass, "")
+	if err != nil {
+		t.Fatalf("CertifyParity: %v", err)
+	}
+	if certs.Schema != ParitySchema {
+		t.Errorf("schema = %q, want %q", certs.Schema, ParitySchema)
+	}
+	status := make(map[string]string)
+	for _, cert := range certs.Pairs {
+		status[cert.Pair] = cert.Status
+	}
+	want := map[string]string{
+		"step":       "proven",
+		"drawTwice":  "divergent",
+		"hookOnce":   "divergent",
+		"stageWrite": "divergent",
+		"audited":    "audited",
+		"stale":      "proven", // the stale audit covers a matching dimension
+	}
+	for pair, st := range want {
+		if status[pair] != st {
+			t.Errorf("pair %s status = %q, want %q", pair, status[pair], st)
+		}
+	}
+	for _, cert := range certs.Pairs {
+		if len(cert.Dimensions) != len(parityDims) {
+			t.Errorf("pair %s has %d dimensions, want %d", cert.Pair, len(cert.Dimensions), len(parityDims))
+		}
+		if cert.Pair == "audited" {
+			for _, d := range cert.Dimensions {
+				if d.Name == "writes" {
+					if d.Status != "audited" || d.Reason == "" || len(d.BatchTrace) == 0 {
+						t.Errorf("audited/writes = %+v, want audited status with reason and traces", d)
+					}
+				}
+			}
+		}
+		if cert.Pair == "step" {
+			for _, d := range cert.Dimensions {
+				if d.Status != "proven" {
+					t.Errorf("step/%s status = %q, want proven", d.Name, d.Status)
+				}
+			}
+		}
+	}
+	if !strings.HasPrefix(certs.Signature, "sha256:") {
+		t.Errorf("signature = %q, want a sha256: prefix", certs.Signature)
+	}
+	again, err := CertifyParity(NewProgram([]*Package{loadFixture(t, "paritybad")}), pass, "")
+	if err != nil {
+		t.Fatalf("CertifyParity (rerun): %v", err)
+	}
+	if again.Signature != certs.Signature {
+		t.Errorf("certification is not deterministic: %s vs %s", again.Signature, certs.Signature)
+	}
+
+	// A missing pair is an error, not a thin certificate.
+	pass.Pairs = append(pass.Pairs, ParityPair{Name: "ghost", Scalar: "(*Eng).vanished", Batch: "(*BEng).stepB"})
+	if _, err := CertifyParity(NewProgram([]*Package{p}), pass, ""); err == nil {
+		t.Error("CertifyParity with a missing pair function succeeded, want an error")
+	}
+}
+
+// TestParityCertificatesGolden is the drift gate CI pins: certifying the
+// shipped engines must reproduce the golden byte-for-byte, and no pair may
+// be divergent. Regenerate with WORMLINT_UPDATE_GOLDEN=1 after an
+// intentional engine change.
+func TestParityCertificatesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load(l.ModRoot + "/...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	certs, err := CertifyParity(NewProgram(pkgs), NewEngineParity(), l.ModRoot)
+	if err != nil {
+		t.Fatalf("CertifyParity: %v", err)
+	}
+	proven, audited := 0, 0
+	for _, cert := range certs.Pairs {
+		switch cert.Status {
+		case "divergent":
+			t.Errorf("pair %s is divergent: unaudited footprint drift between the engines", cert.Pair)
+		case "proven":
+			proven++
+		case "audited":
+			audited++
+		}
+	}
+	if proven == 0 || audited == 0 {
+		t.Errorf("certificate mix proven=%d audited=%d; the engines have both fully-proven and audited pairs", proven, audited)
+	}
+	data, err := json.MarshalIndent(certs, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	data = append(data, '\n')
+	goldenPath := filepath.Join("testdata", "parity_certificates.golden.json")
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil && os.Getenv("WORMLINT_UPDATE_GOLDEN") == "" {
+		t.Fatalf("read golden (regenerate with WORMLINT_UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(data, golden) {
+		if os.Getenv("WORMLINT_UPDATE_GOLDEN") != "" {
+			if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		t.Errorf("parity certificates drifted from the golden; if intentional, regenerate with WORMLINT_UPDATE_GOLDEN=1\n--- got ---\n%s", data)
+	}
+}

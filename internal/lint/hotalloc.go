@@ -81,21 +81,9 @@ func (h *HotAlloc) RunProgram(prog *Program) []Finding {
 
 	reach := prog.Graph().ReachableFrom(roots...)
 	var out []Finding
-	for _, p := range prog.Pkgs {
-		for _, f := range p.Files {
-			for _, d := range f.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
-				if !ok || !reach.Set[fn] {
-					continue
-				}
-				out = append(out, h.checkBody(p, fd, reach)...)
-			}
-		}
-	}
+	forEachReachableDecl(prog, reach, func(p *Package, fd *ast.FuncDecl, _ *types.Func) {
+		out = append(out, h.checkBody(p, fd, reach)...)
+	})
 	return out
 }
 

@@ -36,6 +36,21 @@
 //     return paths.
 //   - hookescape — values handed to engine hooks must be deep copies: no
 //     argument may carry a reference into engine-owned state.
+//   - engineparity — the scalar and batch engines must be semantically
+//     twins: a dataflow footprint (config reads, canonical state writes,
+//     RNG draws, hook emissions, pool traffic) is extracted for each
+//     function pair of the two engines and diffed; any divergence must be
+//     fixed or audited with //lint:parity. CertifyParity turns the result
+//     into machine-readable certificates (cmd/wormlint -certify-parity).
+//   - conservation — flit/credit ledgers must balance: every conserved
+//     quantity (VC ownership counters, pool messages, congestion credits)
+//     acquired on an engine Step graph must be released on the same graph,
+//     and pool acquisitions must reach a release or a state sink on every
+//     path.
+//   - indexdiscipline — the batch engine's dense arrays may only be
+//     indexed by blessed slot-id / position producers, so a slot id can
+//     never be used as a position (or vice versa) without an explicit
+//     audited conversion.
 //   - mutexcopy — locks must not be copied through receivers or parameters.
 //   - loopcapture — go/defer closures must not capture variables the
 //     enclosing loop keeps reassigning.
@@ -128,6 +143,9 @@ func DefaultPasses() []Pass {
 		NewAtomicDiscipline(),
 		NewLockScope(),
 		NewHookEscape(),
+		NewEngineParity(),
+		NewConservation(),
+		NewIndexDiscipline(),
 		MutexCopy{},
 		LoopCapture{},
 		ErrFmt{},
@@ -187,7 +205,14 @@ func SelectPasses(spec string) ([]Pass, error) {
 // passes see all packages at once through a Program; package passes run per
 // package.
 func Run(pkgs []*Package, passes []Pass) []Finding {
-	prog := NewProgram(pkgs)
+	return RunOn(NewProgram(pkgs), passes)
+}
+
+// RunOn is Run against an already-built Program, so a caller that needs the
+// Program for more than one job (findings plus certificate emission, as
+// cmd/wormlint does) loads and type-checks the module exactly once.
+func RunOn(prog *Program, passes []Pass) []Finding {
+	pkgs := prog.Pkgs
 	var out []Finding
 	ran := make(map[string]bool, len(passes))
 	keep := func(pass string, raw []Finding) {

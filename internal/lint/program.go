@@ -23,8 +23,20 @@ type Program struct {
 	// used records which suppressions this Run exercised, for unusedallow.
 	used map[allowKey]bool
 
-	graph   *CallGraph
-	effects map[*types.Func]*funcEffects
+	graph *CallGraph
+	// graphBuilds counts buildCallGraph invocations; the build-once
+	// contract behind sharing one Program across passes and certifications.
+	graphBuilds int
+	declList    []declEntry
+	effects     map[*types.Func]*funcEffects
+}
+
+// declEntry is one declared function body in deterministic program order:
+// packages by import path, files by name, declarations in source order.
+type declEntry struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Fn   *types.Func
 }
 
 // NewProgram indexes the packages into one analysis unit.
@@ -132,9 +144,37 @@ func (prog *Program) FindFunc(pkgPath, spec string) *types.Func {
 // job and the certification gate share one type-checked load and one graph.
 func (prog *Program) Graph() *CallGraph {
 	if prog.graph == nil {
+		prog.graphBuilds++
 		prog.graph = buildCallGraph(prog)
 	}
 	return prog.graph
+}
+
+// funcDecls returns every declared function body in deterministic program
+// order, built once and shared by all whole-program passes so each pass walk
+// is a slice scan rather than a fresh AST traversal.
+func (prog *Program) funcDecls() []declEntry {
+	if prog.declList == nil {
+		for _, q := range prog.Pkgs {
+			for _, f := range q.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					fn, ok := q.Info.Defs[fd.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					prog.declList = append(prog.declList, declEntry{Pkg: q, Decl: fd, Fn: fn})
+				}
+			}
+		}
+		if prog.declList == nil {
+			prog.declList = []declEntry{}
+		}
+	}
+	return prog.declList
 }
 
 // funcDisplayName renders fn for diagnostics: "pkg.Func" or

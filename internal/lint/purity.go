@@ -115,22 +115,11 @@ func (pu *Purity) RunProgram(prog *Program) []Finding {
 }
 
 // forEachReachableDecl visits every reached declared function in
-// deterministic order: packages by import path, files by name, declarations
-// in source order.
+// deterministic order, scanning the program's cached declaration list.
 func forEachReachableDecl(prog *Program, reach *Reach, visit func(*Package, *ast.FuncDecl, *types.Func)) {
-	for _, q := range prog.Pkgs {
-		for _, f := range q.Files {
-			for _, d := range f.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				fn, ok := q.Info.Defs[fd.Name].(*types.Func)
-				if !ok || !reach.Set[fn] {
-					continue
-				}
-				visit(q, fd, fn)
-			}
+	for _, e := range prog.funcDecls() {
+		if reach.Set[e.Fn] {
+			visit(e.Pkg, e.Decl, e.Fn)
 		}
 	}
 }

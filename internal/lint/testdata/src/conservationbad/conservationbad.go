@@ -1,0 +1,64 @@
+// Package conservationbad exercises the conservation pass: a one-way
+// counter, a one-way release, a pool acquire that can leak past an early
+// exit, and balanced uses that must stay silent. Expected findings carry
+// trailing "// WANT conservation" markers.
+package conservationbad
+
+import ext "wormsim/internal/lint/testdata/src/engineext"
+
+// Eng is the miniature engine under audit.
+type Eng struct {
+	pool    ext.Pool
+	owners  []int
+	credits []int
+	ports   []int
+	slots   []*ext.Msg
+}
+
+// Step is the audited root.
+func (e *Eng) Step() {
+	e.acquireOnly(3)
+	e.releaseOnly(2)
+	e.leaky(4)
+	e.balanced(5)
+	e.portRoundTrip(6)
+}
+
+// acquireOnly moves the ownership counter up with no decrement anywhere on
+// the Step graph.
+func (e *Eng) acquireOnly(ch int) {
+	e.owners[ch]++ // WANT conservation
+}
+
+// releaseOnly gives credit back that is never taken.
+func (e *Eng) releaseOnly(ch int) {
+	e.credits[ch]-- // WANT conservation
+}
+
+// leaky forgets the message on the early exit: the pool entry is gone.
+func (e *Eng) leaky(id int) {
+	m := e.pool.Get(id) // WANT conservation
+	if id > 3 {
+		return
+	}
+	e.pool.Put(m)
+}
+
+// balanced releases on the early exit and otherwise parks the message in
+// engine state — both paths sink it.
+func (e *Eng) balanced(id int) {
+	m := e.pool.Get(id)
+	if id > 9 {
+		e.pool.Put(m)
+		return
+	}
+	e.slots[id] = m
+}
+
+// portRoundTrip moves the port counter both ways: silent.
+func (e *Eng) portRoundTrip(node int) {
+	e.ports[node]++
+	if node > 4 {
+		e.ports[node]--
+	}
+}

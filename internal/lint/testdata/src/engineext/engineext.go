@@ -1,0 +1,34 @@
+// Package engineext supplies the foreign-package collaborators the parity,
+// conservation and index fixtures need: a deterministic draw stream and a
+// message pool, standing in for internal/rng and internal/message without
+// coupling the fixtures to the real engine API.
+package engineext
+
+// Stream is a miniature deterministic generator.
+type Stream struct{ s uint64 }
+
+// Intn draws the next value in [0, n).
+func (r *Stream) Intn(n int) int {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return int(r.s>>33) % n
+}
+
+// Msg is a pooled message.
+type Msg struct{ ID int }
+
+// Pool hands out messages that must come back.
+type Pool struct{ free []*Msg }
+
+// Get acquires a message.
+func (p *Pool) Get(id int) *Msg {
+	if k := len(p.free); k > 0 {
+		m := p.free[k-1]
+		p.free = p.free[:k-1]
+		m.ID = id
+		return m
+	}
+	return &Msg{ID: id}
+}
+
+// Put releases a message.
+func (p *Pool) Put(m *Msg) { p.free = append(p.free, m) }

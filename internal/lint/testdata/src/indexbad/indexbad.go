@@ -1,0 +1,54 @@
+// Package indexbad exercises the indexdiscipline pass: dense position
+// arrays indexed by slot ids, slot-id arrays indexed by loop positions, and
+// blessed uses (active-list iteration, aIdx translation, ch*numVCs+vc
+// packing, len-bounded counters) that must stay silent. Expected findings
+// carry trailing "// WANT indexdiscipline" markers.
+package indexbad
+
+// BEng is the miniature batch engine under audit.
+type BEng struct {
+	hot    []int
+	aIdx   []int32
+	act    []int32
+	numVCs int32
+}
+
+// Step is the audited root.
+func (b *BEng) Step() {
+	for pos, id := range b.act {
+		_ = pos
+		b.consume(id)
+	}
+	b.posLoop()
+	b.mixedUp()
+	b.pack(3, 1)
+}
+
+// consume's id parameter is blessed by name; the aIdx hop translates it to
+// a position, but indexing the position array by the raw id is the bug.
+func (b *BEng) consume(id int32) {
+	b.hot[b.aIdx[id]]++
+	b.hot[id]++ // WANT indexdiscipline
+}
+
+// posLoop's counter is a position (bounded by the position array), so the
+// slot-id array must not be indexed by it.
+func (b *BEng) posLoop() {
+	for i := 0; i < len(b.hot); i++ {
+		b.hot[i]++
+		b.aIdx[i]++ // WANT indexdiscipline
+	}
+}
+
+// mixedUp hands a position to a slot-id parameter.
+func (b *BEng) mixedUp() {
+	for pos := range b.hot {
+		b.consume(int32(pos)) // WANT indexdiscipline
+	}
+}
+
+// pack builds a slot id the blessed way: ch*numVCs + vc.
+func (b *BEng) pack(ch, vc int32) {
+	t := ch*b.numVCs + vc
+	b.aIdx[t]++
+}

@@ -1,0 +1,113 @@
+// Package paritybad exercises the engineparity pass: a miniature scalar
+// engine (Eng) and batch engine (BEng) with pairs that prove clean, pairs
+// that diverge on each footprint dimension, an audited divergence, a stale
+// audit and malformed directives. Expected findings carry trailing
+// "// WANT engineparity" markers.
+package paritybad
+
+import ext "wormsim/internal/lint/testdata/src/engineext"
+
+// Cfg is the shared configuration surface.
+type Cfg struct {
+	Len   int
+	OnEnd func(int)
+}
+
+// Eng is the scalar engine.
+type Eng struct {
+	cfg     Cfg
+	rng     ext.Stream
+	flits   []int
+	scratch []int
+}
+
+// BEng is the batch engine; fl is its layout of the scalar flits array.
+type BEng struct {
+	cfg   Cfg
+	rng   ext.Stream
+	fl    []int
+	stage []int
+}
+
+// step and stepB prove: same config read, same draw, same canonical write.
+func (e *Eng) step() {
+	n := e.rng.Intn(e.cfg.Len)
+	e.flits[n]++
+}
+
+func (b *BEng) stepB() {
+	n := b.rng.Intn(b.cfg.Len)
+	b.fl[n]++
+}
+
+// drawTwice draws twice where its twin draws once.
+func (e *Eng) drawTwice() int {
+	return e.rng.Intn(4) + e.rng.Intn(8)
+}
+
+func (b *BEng) drawTwiceB() int { // WANT engineparity
+	return b.rng.Intn(4)
+}
+
+// hookOnce fires the end hook once where its twin fires it twice.
+func (e *Eng) hookOnce(n int) {
+	if e.cfg.OnEnd != nil {
+		e.cfg.OnEnd(n)
+	}
+}
+
+func (b *BEng) hookOnceB(n int) { // WANT engineparity
+	if b.cfg.OnEnd != nil {
+		b.cfg.OnEnd(n)
+		b.cfg.OnEnd(n + 1)
+	}
+}
+
+// stageWrite diverges on writes: the batch side staples results into
+// batch-only staging the scalar side does not have.
+func (e *Eng) stageWrite(n int) {
+	e.flits[n] = n
+}
+
+func (b *BEng) stageWriteB(n int) { // WANT engineparity
+	b.fl[n] = n
+	b.stage = append(b.stage, n)
+}
+
+// audited diverges the same way but carries the audit, so no finding.
+func (e *Eng) audited(n int) {
+	e.flits[n] = n
+}
+
+// auditedB staples into batch staging.
+//
+//lint:parity writes the batch side stages results in stage
+func (b *BEng) auditedB(n int) {
+	b.fl[n] = n
+	b.stage = append(b.stage, n)
+}
+
+// stale carries an audit for a dimension that already matches.
+func (e *Eng) stale(n int) {
+	e.flits[n] = n
+}
+
+// staleB matches its twin exactly; the draws audit below is stale.
+//
+//lint:parity draws legacy audit kept after the engines converged // WANT engineparity
+func (b *BEng) staleB(n int) {
+	b.fl[n] = n
+}
+
+// baddir matches its twin; its directives are malformed.
+func (e *Eng) baddir(n int) {
+	e.flits[n] = n
+}
+
+// baddirB carries an unknown dimension and a reason-less directive.
+//
+//lint:parity latency spurious dimension name // WANT engineparity
+//lint:parity writes // WANT engineparity
+func (b *BEng) baddirB(n int) {
+	b.fl[n] = n
+}

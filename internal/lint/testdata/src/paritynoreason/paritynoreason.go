@@ -1,0 +1,21 @@
+// Package paritynoreason holds the one parity case a trailing WANT marker
+// cannot express: a //lint:parity directive with no reason text at all (any
+// trailing comment would parse as the reason).
+package paritynoreason
+
+// Eng is the scalar side.
+type Eng struct{ flits []int }
+
+// BEng is the batch side with batch-only staging.
+type BEng struct {
+	fl    []int
+	stage []int
+}
+
+func (e *Eng) put(n int) { e.flits[n] = n }
+
+//lint:parity writes
+func (b *BEng) putB(n int) {
+	b.fl[n] = n
+	b.stage = append(b.stage, n)
+}

@@ -20,6 +20,11 @@ import (
 // until the caller Deactivates them (the scalar engine has the same
 // property — Step after a watchdog report keeps simulating). The returned
 // slice is nil in the common no-fault case.
+//
+//lint:parity draws every replica's arrival draw is hoisted into one ArrivalsBatch sweep before the phase loop; each replica still consumes its own stream in scalar order
+//lint:parity hooks the fused sweep brackets its phases with one timer-mark ordering, so EndCycle lands before the last mark instead of after it
+//lint:parity reads cfg.Observer is checked up front so observer rows are staged only when a sink is installed
+//lint:parity writes arrival, observer-row and watchdog staging buffers (arrivals, arrScratch, batchOut, batchWs) are batch-only scratch shared across replicas
 func (b *BatchNetwork) Step() []ReplicaFault {
 	if b.prof != nil {
 		b.prof.Begin()
@@ -110,6 +115,9 @@ func (b *BatchNetwork) drawArrivals() {
 
 // injectR admits replica rep's arrivals onto injection slots (scalar
 // Network.inject).
+//
+//lint:parity draws the arrival draw happens once in Step's batched sweep; injectR consumes the staged arrivals
+//lint:parity writes the scalar engine refills its arrivals scratch and seeds the new slot's counters inline; the batch engine seeds slots through setActive and records fresh headers in headerIDs
 func (b *BatchNetwork) injectR(rep *batchReplica) {
 	for _, a := range rep.arrivals {
 		rep.window.Generated++
@@ -140,6 +148,8 @@ func (b *BatchNetwork) injectR(rep *batchReplica) {
 // slot-id space when every id is in use. Per-replica ids are allocated with
 // the same free-list-then-append discipline as the scalar engine, so a
 // replica's slot ids match its scalar run's exactly.
+//
+//lint:parity writes the scalar helper seeds the fresh slot's VC state inline; the batch helper only allocates the id — setActive seeds state — and grows the shared slot space (numSlots, active)
 func (b *BatchNetwork) newInjSlotR(rep *batchReplica) int32 {
 	if k := len(rep.injFree); k > 0 {
 		id := rep.injFree[k-1]
@@ -177,6 +187,10 @@ func (b *BatchNetwork) growSlots() {
 // rep.headerIDs, visited in the position order the rotated scan would reach
 // them; slots that are not headers are skipped by that scan without side
 // effects, so the shortlist routes exactly what the scan routes.
+//
+//lint:parity calls tryRouteR is expanded at both the single-header and sorted-shortlist call sites, so the scalar scan's one route/foreBlocked sequence appears once per site
+//lint:parity hooks the same duplication: each expanded tryRouteR carries its own HeadBlocked emission
+//lint:parity writes the rotated header shortlist (headerIDs, hdrOrd) is batch-only staging
 func (b *BatchNetwork) allocateR(rep *batchReplica) {
 	count := len(rep.active)
 	if count == 0 {
@@ -209,6 +223,7 @@ func (b *BatchNetwork) allocateR(rep *batchReplica) {
 		}
 		b.hdrOrd = ord
 		for _, o := range ord {
+			//lint:allow indexdiscipline hdrOrd packs rel<<32|slot-id sort keys; the uint32 truncation here is the one decode back to a slot id
 			b.tryRouteR(rep, int32(uint32(o)))
 		}
 	}
@@ -242,6 +257,8 @@ func (b *BatchNetwork) tryRouteR(rep *batchReplica, id int32) {
 // routeR attempts virtual-channel allocation for the header in rep's slot
 // id at active position pos and reports whether it is routed afterwards
 // (scalar Network.route).
+//
+//lint:parity writes the batch vcHot literal leaves the zero-valued counters (flits, ready, recvd, sent) implicit and records the downstream node at claim time; the scalar engine zero-seeds them explicitly and stores the node on header arrival
 func (b *BatchNetwork) routeR(rep *batchReplica, id int32, pos int32, m *message.Message) bool {
 	node := int(rep.hotA[pos].node)
 	if m.Dst == node {
@@ -295,6 +312,8 @@ func (b *BatchNetwork) routeR(rep *batchReplica, id int32, pos int32, m *message
 // choice over the same scan-ordered pair the scalar arbitration makes,
 // without materializing request lists. Wider VC configs fall back to the
 // full request-list arbitration.
+//
+//lint:parity writes mover staging and generation-stamped arbitration scratch (moveChs, chSlot, reqGen, chReqGen) replace the scalar request lists
 func (b *BatchNetwork) transferR(rep *batchReplica) bool {
 	bufDepth := b.bufDepth
 	numVCs := int32(b.numVCs)
@@ -443,6 +462,8 @@ func (b *BatchNetwork) dropReverseConflictsR(rep *batchReplica, moves []int32) [
 
 // applyMoveR transfers one flit from rep's slot id across its output
 // channel (scalar Network.applyMove).
+//
+//lint:parity writes a completed header hop re-registers the downstream slot in headerIDs for the next allocate shortlist; the scalar engine rediscovers headers by scanning
 func (b *BatchNetwork) applyMoveR(rep *batchReplica, id int32) {
 	pos := rep.aIdx[id]
 	h := &rep.hotA[pos]
@@ -499,6 +520,8 @@ func (b *BatchNetwork) applyMoveR(rep *batchReplica, id int32) {
 
 // deliverR completes message consumption at rep's slot id, at active
 // position pos (scalar Network.deliver).
+//
+//lint:parity reads the freed slot's physical channel is decoded from its id through numVCs; the scalar engine reads the stored vcCh entry instead
 func (b *BatchNetwork) deliverR(rep *batchReplica, id int32, pos int) {
 	m := rep.msgA[pos]
 	m.DeliverTime = rep.now
@@ -622,6 +645,8 @@ func (b *BatchNetwork) deadlockErrR(rep *batchReplica) *DeadlockError {
 // Network.WormStates): one telemetry.WormState per live worm, sorted by
 // message ID, buffers ordered injection slot first then upstream to
 // downstream.
+//
+//lint:parity reads slot ids decode to channel and class through numVCs; the scalar engine stores ch and class per VC
 func (b *BatchNetwork) WormStatesOf(r int) []telemetry.WormState {
 	rep := &b.reps[r]
 	numVCs := int32(b.numVCs)

@@ -126,10 +126,10 @@ func (n *Network) describeStuck(limit int) string {
 }
 
 // nodeName renders a node id with coordinates for diagnostics.
-func nodeName(g *topology.Grid, id int) string {
-	if id < 0 {
+func nodeName(g *topology.Grid, node int) string {
+	if node < 0 {
 		return "edge"
 	}
 	coords := make([]int, g.N())
-	return fmt.Sprintf("%d%v", id, g.Coords(id, coords))
+	return fmt.Sprintf("%d%v", node, g.Coords(node, coords))
 }
